@@ -1,0 +1,10 @@
+"""Figures 4/8 — the full LENS characterization vs ground truth."""
+
+from repro.experiments import characterize
+from repro.experiments.common import Scale
+
+
+def test_fig8_characterization(run_once):
+    (result,) = run_once(characterize.run, Scale.SMOKE)
+    assert result.metrics["parameters_correct"] == \
+        result.metrics["parameters_total"]

@@ -1,0 +1,19 @@
+"""Extension studies: energy accounting and NUMA penalties."""
+
+from repro.experiments import energy_study, numa_study
+from repro.experiments.common import Scale
+
+
+def test_energy_read_vs_write(run_once):
+    (result,) = run_once(energy_study.run_read_vs_write, Scale.SMOKE)
+    assert result.metrics["random_write_over_seq_read"] > 10
+
+
+def test_energy_lazy_cache(run_once):
+    (result,) = run_once(energy_study.run_lazy_cache_energy, Scale.SMOKE)
+    assert result.metrics["energy_saving"] > 0.3
+
+
+def test_numa_penalties(run_once):
+    (result,) = run_once(numa_study.run, Scale.SMOKE)
+    assert result.metrics["nvram_added_ns"] > 100

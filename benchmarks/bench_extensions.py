@@ -1,0 +1,41 @@
+"""Beyond-the-figures studies: thread scaling and design ablations."""
+
+from repro.experiments import ablation, scaling
+from repro.experiments.common import Scale
+
+
+def test_scaling_reads(run_once):
+    (result,) = run_once(scaling.run_read_scaling, Scale.SMOKE)
+    assert result.metrics["nvram_scaling_16t"] < 4.0
+
+
+def test_scaling_writes(run_once):
+    (result,) = run_once(scaling.run_write_scaling, Scale.SMOKE)
+    assert result.metrics["nvram_scaling_16t"] < 1.6
+
+
+def test_ablation_write_combining(run_once):
+    (result,) = run_once(ablation.run_write_combining, Scale.SMOKE)
+    assert result.metrics["combining_gain"] > 1.5
+
+
+def test_ablation_engine_hold(run_once):
+    (result,) = run_once(ablation.run_engine_hold, Scale.SMOKE)
+    assert result.metrics["plateau_ratio"] > 1.3
+
+
+def test_ablation_wear_decay(run_once):
+    (result,) = run_once(ablation.run_wear_decay, Scale.SMOKE)
+    assert result.metrics["plain_migrations"] > result.metrics["aged_migrations"]
+
+
+def test_ablation_critical_first(run_once):
+    (result,) = run_once(ablation.run_critical_block_first, Scale.SMOKE)
+    assert result.metrics["latency_saving_ns"] > 100
+
+
+def test_bandwidth_matrix(run_once):
+    from repro.experiments import bandwidth_matrix
+    (result,) = run_once(bandwidth_matrix.run, Scale.SMOKE)
+    assert result.metrics["seq_over_rand_write"] > 5
+    assert result.metrics["mixed_vs_pure_avg"] < 0.9

@@ -1,0 +1,16 @@
+"""Figure 1 — PMEP vs Optane motivating discrepancy."""
+
+from repro.experiments import fig01
+from repro.experiments.common import Scale
+
+
+def test_fig1a_bandwidth(run_once):
+    (result,) = run_once(fig01.run_bandwidth, Scale.SMOKE)
+    assert result.metrics["pmep_store_over_nt"] > 1.5
+    assert result.metrics["optane_nt_over_store"] > 1.5
+
+
+def test_fig1b_latency(run_once):
+    (result,) = run_once(fig01.run_latency, Scale.SMOKE)
+    assert result.metrics["pmep_flatness"] < 1.4
+    assert result.metrics["vans_dynamic_range"] > 2.0

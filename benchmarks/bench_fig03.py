@@ -1,0 +1,14 @@
+"""Figure 3 — conventional-simulator inaccuracy."""
+
+from repro.experiments import fig03
+from repro.experiments.common import Scale
+
+
+def test_fig3a_simulator_accuracy(run_once):
+    (result,) = run_once(fig03.run_accuracy, Scale.SMOKE)
+    assert result.metrics["vans_minus_best_baseline"] > 0.15
+
+
+def test_fig3b_pcm_latency_curve(run_once):
+    (result,) = run_once(fig03.run_pcm_latency, Scale.SMOKE)
+    assert result.metrics["pcm_flatness"] < 2.0

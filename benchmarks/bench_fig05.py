@@ -1,0 +1,28 @@
+"""Figure 5 — LENS buffer prober curves."""
+
+from repro.common.units import KIB, MIB
+from repro.experiments import fig05
+from repro.experiments.common import Scale
+
+
+def test_fig5a_latency_64b_block(run_once):
+    (result,) = run_once(fig05.run_latency, Scale.SMOKE, 64)
+    assert result.metrics["read_inflections"] == str([16 * KIB, 16 * MIB])
+    assert result.metrics["write_inflections"] == str([512, 4 * KIB])
+
+
+def test_fig5b_latency_256b_block(run_once):
+    (result,) = run_once(fig05.run_latency, Scale.SMOKE, 256)
+    # with 256B PC-blocks the fills amortize: curve is shallower
+    assert max(result.series["ld"].values) < 250
+
+
+def test_fig5c_read_after_write(run_once):
+    (result,) = run_once(fig05.run_raw, Scale.SMOKE)
+    assert result.metrics["raw_over_rpw_small"] > 1.5
+    assert result.metrics["raw_over_rpw_large"] < 1.2
+
+
+def test_fig5d_tlb_mpki_flat(run_once):
+    (result,) = run_once(fig05.run_tlb, Scale.SMOKE)
+    assert result.metrics["mpki_spread"] < 5.0

@@ -1,0 +1,17 @@
+"""Figure 6 — amplification scores and buffer entry sizes."""
+
+from repro.common.units import KIB
+from repro.experiments import fig06
+from repro.experiments.common import Scale
+
+
+def test_fig6a_read_amplification(run_once):
+    (result,) = run_once(fig06.run_read, Scale.SMOKE)
+    assert result.metrics["rmw_entry_size"] == 256
+    assert result.metrics["ait_entry_size"] == 4 * KIB
+
+
+def test_fig6b_write_amplification(run_once):
+    (result,) = run_once(fig06.run_write, Scale.SMOKE)
+    assert result.metrics["lsq_combine_size"] == 256
+    assert result.metrics["wpq_flush_bytes"] == 512

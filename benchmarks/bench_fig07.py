@@ -1,0 +1,30 @@
+"""Figure 7 — interleaving and wear-leveling policy curves."""
+
+import pytest
+
+from repro.common.units import KIB
+from repro.experiments import fig07
+from repro.experiments.common import Scale
+
+
+def test_fig7a_interleaving(run_once):
+    (result,) = run_once(fig07.run_interleaving, Scale.SMOKE)
+    assert result.metrics["interleave_granularity"] == 4 * KIB
+    assert result.metrics["speedup_at_16k"] > 1.0
+
+
+def test_fig7b_overwrite_tails(run_once):
+    (result,) = run_once(fig07.run_tail_latency, Scale.SMOKE)
+    assert result.metrics["tail_interval_iters"] == pytest.approx(14000,
+                                                                  rel=0.1)
+    assert result.metrics["tail_over_median"] > 20
+
+
+def test_fig7c_tail_ratio_vs_region(run_once):
+    (result,) = run_once(fig07.run_tail_ratio, Scale.SMOKE)
+    assert result.metrics["wear_block_detected"] == 64 * KIB
+
+
+def test_fig7d_tlb_flat(run_once):
+    (result,) = run_once(fig07.run_tlb, Scale.SMOKE)
+    assert result.metrics["max_misses_after_warmup"] == 0

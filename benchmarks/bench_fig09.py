@@ -1,0 +1,31 @@
+"""Figure 9 — VANS microbenchmark validation."""
+
+from repro.experiments import fig09
+from repro.experiments.common import Scale
+
+
+def test_fig9a_single_dimm_latency(run_once):
+    (result,) = run_once(fig09.run_latency, Scale.SMOKE, 1)
+    assert result.metrics["acc_lat_ld"] > 0.85
+
+
+def test_fig9b_interleaved_latency(run_once):
+    (result,) = run_once(fig09.run_latency, Scale.SMOKE, 6)
+    assert result.metrics["acc_lat_ld"] > 0.7
+
+
+def test_fig9c_rmw_read_amplification(run_once):
+    (result,) = run_once(fig09.run_read_amplification, Scale.SMOKE)
+    last = result.rows[-1]
+    assert abs(last[1] - last[2]) < 0.5
+
+
+def test_fig9d_overwrite_tails(run_once):
+    (result,) = run_once(fig09.run_overwrite, Scale.SMOKE)
+    assert result.metrics["interval_accuracy"] > 0.8
+
+
+def test_fig9e_overall_accuracy(run_once):
+    (result,) = run_once(fig09.run_accuracy, Scale.SMOKE)
+    # the paper reports 86.5% average accuracy
+    assert result.metrics["average_accuracy"] > 0.75

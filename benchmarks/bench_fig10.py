@@ -1,0 +1,15 @@
+"""Figure 10 — sensitivity studies."""
+
+from repro.experiments import fig10
+from repro.experiments.common import Scale
+
+
+def test_fig10a_media_capacity_invariance(run_once):
+    (result,) = run_once(fig10.run_capacity, Scale.SMOKE)
+    assert result.metrics["max_relative_spread"] < 0.05
+
+
+def test_fig10b_dimm_count_sensitivity(run_once):
+    (result,) = run_once(fig10.run_dimm_count, Scale.SMOKE)
+    for row in result.rows:
+        assert row[4] <= row[1] * 1.02

@@ -1,0 +1,11 @@
+"""Figure 11 — SPEC full-system validation."""
+
+from repro.experiments import fig11
+from repro.experiments.common import Scale
+
+
+def test_fig11_spec_validation(run_once):
+    (result,) = run_once(fig11.run, Scale.SMOKE)
+    assert result.metrics["vans_speedup_accuracy_geomean"] > \
+        result.metrics["ramulator_speedup_accuracy_geomean"]
+    assert result.metrics["vans_speedup_accuracy_geomean"] > 0.8

@@ -1,0 +1,18 @@
+"""Figure 12 — cloud-workload profiling."""
+
+from repro.experiments import fig12
+from repro.experiments.common import Scale
+
+
+def test_fig12a_redis_profile(run_once):
+    (result,) = run_once(fig12.run_redis, Scale.SMOKE)
+    ratios = dict((r[0], r[1]) for r in result.rows)
+    assert ratios["cpi"] > 4
+    assert ratios["llc_miss"] > 2
+
+
+def test_fig12b_ycsb_hot_lines(run_once):
+    (result,) = run_once(fig12.run_ycsb, Scale.SMOKE)
+    rows = {r[0]: r for r in result.rows}
+    assert rows["writes per line"][3] > 50
+    assert rows["wear migrations"][1] > rows["wear migrations"][2]

@@ -1,0 +1,12 @@
+"""Figure 13 — Lazy cache / Pre-translation evaluation."""
+
+from repro.experiments import fig13
+from repro.experiments.common import Scale
+
+
+def test_fig13_optimizations(run_once):
+    (result,) = run_once(fig13.run, Scale.SMOKE)
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["linkedlist"][2] > 1.2   # Pre-translation speedup
+    assert by_name["ycsb"][1] > 1.05        # Lazy cache speedup
+    assert result.metrics["tlb_mpki_mean_ratio"] < 0.95

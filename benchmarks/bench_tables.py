@@ -1,0 +1,24 @@
+"""Tables I, II, IV and V."""
+
+from repro.experiments import tables
+from repro.experiments.common import Scale
+
+
+def test_table1_capability_matrix(run_once):
+    (result,) = run_once(tables.run_table1, Scale.SMOKE)
+    assert len(result.rows) == 4
+
+
+def test_table2_lens_overview(run_once):
+    (result,) = run_once(tables.run_table2, Scale.SMOKE)
+    assert len(result.rows) == 8
+
+
+def test_table4_spec_calibration(run_once):
+    (result,) = run_once(tables.run_table4, Scale.SMOKE)
+    assert result.metrics["worst_relative_mpki_error"] < 0.35
+
+
+def test_table5_configuration(run_once):
+    (result,) = run_once(tables.run_table5, Scale.SMOKE)
+    assert "16K" in result.render()

@@ -1,0 +1,34 @@
+"""Benchmark plumbing.
+
+Each ``bench_*`` file regenerates one of the paper's tables/figures.
+``pytest benchmarks/ --benchmark-only`` runs them all; the rendered
+rows/series are printed so the numbers can be diffed against the paper
+(see EXPERIMENTS.md for the recorded comparison).
+
+Experiments run once per benchmark (rounds=1): they are deterministic
+simulations; the benchmark timing records the harness cost, while the
+benchmark's *output* is the experiment data itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark, capsys):
+    """Run an experiment exactly once under pytest-benchmark and print
+    its rendered rows."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        results = result if isinstance(result, tuple) else (result,)
+        with capsys.disabled():
+            print()
+            for item in results:
+                print(item.render())
+                print()
+        return results
+
+    return _run

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Evaluate the paper's two architectural optimizations on cloud
+workloads (Section V): Pre-translation and the Lazy cache.
+
+Runs each workload on the full-system simulator (core + caches + TLBs +
+VANS) in four configurations — baseline, Lazy cache, Pre-translation,
+both — and reports speedups and TLB miss reductions, mirroring
+Figure 13d/e.
+
+Run:  python examples/cloud_optimization.py
+"""
+
+from dataclasses import replace
+
+from repro.cpu import FullSystem
+from repro.media.wear import WearConfig
+from repro.optim import PreTranslation
+from repro.vans import VansConfig, VansSystem
+from repro.workloads import CLOUD_WORKLOADS
+
+NOPS = 30000
+WARMUP = 15000
+#: wear threshold scaled to the trace length (preserving the ratio of
+#: writes-per-migration the paper measures over billions of instructions)
+MIGRATE_THRESHOLD = 250
+
+
+def build_system(name: str, lazy: bool, pretrans: bool) -> FullSystem:
+    cfg = VansConfig().with_lazy_cache(lazy)
+    cfg = replace(cfg, dimm=replace(
+        cfg.dimm, wear=WearConfig(migrate_threshold=MIGRATE_THRESHOLD)))
+    pt = PreTranslation() if pretrans else None
+    return FullSystem(VansSystem(cfg), name=name, pretranslation=pt)
+
+
+def main() -> None:
+    print(f"{'workload':<12} {'lazy':>6} {'pretrans':>9} {'both':>6} "
+          f"{'tlb-mpki ratio':>15}")
+    for name, trace_fn in CLOUD_WORKLOADS.items():
+        reports = {}
+        for tag, lazy, pretrans in (("base", False, False),
+                                    ("lazy", True, False),
+                                    ("pt", False, True),
+                                    ("both", True, True)):
+            system = build_system(f"{name}-{tag}", lazy, pretrans)
+            trace = trace_fn(NOPS + WARMUP, mkpt=pretrans)
+            reports[tag] = system.run(trace, warmup_ops=WARMUP)
+        base = reports["base"].elapsed_ps
+        s_lazy = base / reports["lazy"].elapsed_ps
+        s_pt = base / reports["pt"].elapsed_ps
+        s_both = base / reports["both"].elapsed_ps
+        tlb = (reports["pt"].stlb_mpki / reports["base"].stlb_mpki
+               if reports["base"].stlb_mpki else 1.0)
+        print(f"{name:<12} {s_lazy:5.2f}x {s_pt:8.2f}x {s_both:5.2f}x "
+              f"{tlb:15.2f}")
+    print("\nPaper's result: Pre-translation 1-48% (pointer chasing),")
+    print("Lazy cache ~10% average (concentrated writes), both 8-49%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Design-space exploration with VANS's modular configuration.
+
+The paper positions VANS as a vehicle for exploring NVRAM architecture
+variants ("users can reconfigure VANS based on the new parameters").
+This example sweeps two design axes and reports their performance
+effects:
+
+1. RMW buffer size — how much SRAM buys how much pointer-chasing
+   latency;
+2. DIMM population — bandwidth and latency scaling with interleaving.
+
+Run:  python examples/design_space.py
+"""
+
+from dataclasses import replace
+
+from repro.common.rng import make_rng
+from repro.common.units import KIB, MIB, NS, pretty_size
+from repro.lens.microbench.stride import Stride
+from repro.vans import VansConfig, VansSystem
+from repro.vans.config import RmwConfig
+
+
+def chase_latency(system: VansSystem, region: int, n: int = 1200) -> float:
+    rng = make_rng(3, f"ds-{region}-{system.name}")
+    system.warm_fill(0, region)
+    lines = region // 64
+    now, total = 0, 0
+    for _ in range(n):
+        done = system.read(rng.randrange(lines) * 64, now)
+        total += done - now
+        now = done
+    return total / n / NS
+
+
+def sweep_rmw_size() -> None:
+    print("RMW buffer size sweep (random reads over a 64KB working set):")
+    print(f"  {'rmw size':>9}  latency")
+    for entries in (32, 64, 128, 256):
+        cfg = VansConfig()
+        cfg = replace(cfg, dimm=replace(cfg.dimm,
+                                        rmw=RmwConfig(entries=entries)))
+        lat = chase_latency(VansSystem(cfg), 64 * KIB)
+        size = pretty_size(entries * 256)
+        print(f"  {size:>9}  {lat:6.1f} ns")
+    print("  -> once the buffer covers the working set, extra SRAM is "
+          "wasted;\n     the paper's 16KB sits below typical working sets, "
+          "hence the 16KB cliff.\n")
+
+
+def sweep_dimm_count() -> None:
+    print("DIMM population sweep (4KB interleaving):")
+    print(f"  {'dimms':>6}  {'chase 64KB':>11}  {'chase 8MB':>10}  "
+          f"{'read bw':>8}")
+    stride = Stride(read_window=32)
+    for ndimms in (1, 2, 4, 6):
+        cfg = VansConfig().with_dimms(ndimms)
+        lat_small = chase_latency(VansSystem(cfg), 64 * KIB)
+        lat_big = chase_latency(VansSystem(cfg), 8 * MIB)
+        bw = stride.read_bandwidth_gbs(VansSystem(cfg), 4 * MIB)
+        print(f"  {ndimms:>6}  {lat_small:9.1f} ns  {lat_big:8.1f} ns  "
+              f"{bw:5.1f} GB/s")
+    print("  -> interleaving multiplies effective buffer reach and "
+          "bandwidth,\n     but single-access latency barely moves "
+          "(Fig. 10b).")
+
+
+def main() -> None:
+    sweep_rmw_size()
+    sweep_dimm_count()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Crash consistency on App Direct NVRAM: why the fence placement in a
+persistent-memory protocol matters.
+
+Builds an append-only log two ways — the correct protocol (persist the
+entry *before* publishing the count) and the classic buggy one (no
+ordering fence) — and crash-tests both with the functional memory's
+partial-persistence model.  Also contrasts App Direct with Memory mode,
+where no amount of fencing makes anything durable.
+
+Run:  python examples/persistent_log.py
+"""
+
+from repro.pmlib import PersistentLog, UnorderedLog
+from repro.vans import MemoryModeSystem
+from repro.vans.functional import FunctionalMemory
+
+
+def crash_mid_append(log_cls, adversarial: bool):
+    """Append one entry fully, crash in the middle of the second."""
+    memory = FunctionalMemory()
+    log = log_cls(memory)
+    log.append("entry-0")
+    steps = log.append_steps("entry-1")
+    next(steps)                      # entry data stored
+    if log_cls.ORDERED:
+        next(steps)                  # ...and fenced
+    next(steps)                      # count stored (not yet fenced)
+    if adversarial:
+        # worst legal outcome: the count line reaches the ADR domain,
+        # anything still pending does not
+        header = log._header_addr()
+        if header in memory._pending:
+            memory._persistent[header] = memory._pending.pop(header)
+        memory.crash(pending_policy="drop")
+    else:
+        memory.crash(pending_policy="random", seed=7)
+    return PersistentLog.recover(memory)
+
+
+def main() -> None:
+    print("Crash injected between 'count stored' and the commit fence,")
+    print("with the adversarial partial-persistence outcome:\n")
+
+    rec = crash_mid_append(PersistentLog, adversarial=True)
+    print(f"  ordered protocol : count={rec.count} entries={rec.entries} "
+          f"torn={rec.torn}")
+    rec = crash_mid_append(UnorderedLog, adversarial=True)
+    print(f"  missing fence    : count={rec.count} entries={rec.entries} "
+          f"torn={rec.torn}   <-- committed garbage!")
+
+    print("\nExhaustive sweep (every crash step x pending outcome,")
+    print("including the adversarial header-persists-first outcome):")
+    for log_cls in (PersistentLog, UnorderedLog):
+        torn_cases = 0
+        total = 0
+        nsteps = 4 if log_cls.ORDERED else 3
+        for step in range(nsteps):
+            for policy in ("drop", "keep", "adversarial"):
+                memory = FunctionalMemory()
+                log = log_cls(memory)
+                log.append("a")
+                steps = log.append_steps("b")
+                for _ in range(step + 1):
+                    next(steps, None)
+                if policy == "adversarial":
+                    header = log._header_addr()
+                    if header in memory._pending:
+                        memory._persistent[header] = \
+                            memory._pending.pop(header)
+                    memory.crash(pending_policy="drop")
+                else:
+                    memory.crash(pending_policy=policy)
+                if PersistentLog.recover(memory).torn:
+                    torn_cases += 1
+                total += 1
+        name = log_cls.__name__
+        print(f"  {name:<14} {torn_cases}/{total} crash scenarios torn")
+
+    print("\nMemory mode for contrast (no persistence path at all):")
+    memmode = MemoryModeSystem()
+    now = memmode.write(0, 0)
+    now = memmode.fence(now)   # a no-op: Memory mode is volatile
+    print(f"  fence returned immediately (t={now}ps unchanged semantics);")
+    print("  Memory mode trades persistence for a transparent DRAM cache.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Baseline NVRAM emulators/simulators the paper compares against.
+
+All of them share the "NVRAM is a slower DRAM" assumption that the paper
+shows to be wrong (Sections II-B, II-C):
+
+* :class:`~repro.baselines.pmep.PMEPModel` — the Persistent Memory
+  Emulation Platform [11]: stall the CPU a fixed extra latency per access
+  and throttle bandwidth.
+* :class:`~repro.baselines.quartz.QuartzModel` — Quartz [56]: epoch-based
+  delay injection proportional to observed DRAM accesses.
+* :class:`~repro.baselines.slow_dram.SlowDramSystem` — DRAMSim2 [46] /
+  Ramulator [32] style simulators: a conventional DDR state machine with
+  (optionally PCM-stretched) timings, no on-DIMM buffer hierarchy.
+"""
+
+from repro.baselines.pmep import PMEPModel
+from repro.baselines.quartz import QuartzModel
+from repro.baselines.slow_dram import SlowDramSystem, ramulator_pcm, dramsim2_ddr3, ramulator_ddr4
+
+__all__ = [
+    "PMEPModel",
+    "QuartzModel",
+    "SlowDramSystem",
+    "ramulator_pcm",
+    "dramsim2_ddr3",
+    "ramulator_ddr4",
+]

@@ -1,0 +1,51 @@
+"""Shared utilities: units, errors, and deterministic randomness."""
+
+from repro.common.units import (
+    KIB,
+    MIB,
+    GIB,
+    NS,
+    US,
+    MS,
+    SEC,
+    ns_to_ps,
+    ps_to_ns,
+    ps_to_us,
+    freq_mhz_to_period_ps,
+    align_down,
+    align_up,
+    is_power_of_two,
+    pretty_size,
+    pretty_time,
+)
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    ProtocolError,
+    SimulationError,
+)
+from repro.common.rng import make_rng
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "ns_to_ps",
+    "ps_to_ns",
+    "ps_to_us",
+    "freq_mhz_to_period_ps",
+    "align_down",
+    "align_up",
+    "is_power_of_two",
+    "pretty_size",
+    "pretty_time",
+    "ReproError",
+    "ConfigError",
+    "ProtocolError",
+    "SimulationError",
+    "make_rng",
+]

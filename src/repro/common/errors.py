@@ -1,0 +1,22 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class ProtocolError(ReproError):
+    """A device violated a bus/DIMM protocol rule.
+
+    Raised by the DDR4 protocol checker when a command stream breaks a
+    timing or state constraint, mirroring the role of Micron's Verilog
+    verification model in the paper.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation reached an impossible or deadlocked state."""

@@ -1,0 +1,88 @@
+"""Units used across the simulator.
+
+All simulated time is kept as *integer picoseconds*.  Picoseconds are fine
+enough to represent both a 2666MT/s memory clock (tCK = 750ps exactly) and
+a 2.2GHz CPU clock (~455ps) without accumulating floating-point drift, and
+integers keep event ordering deterministic.
+
+Sizes are plain integers in bytes.
+"""
+
+from __future__ import annotations
+
+# --- size units (bytes) ---
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# --- time units (picoseconds) ---
+NS = 1_000
+US = 1_000 * NS
+MS = 1_000 * US
+SEC = 1_000 * MS
+
+
+def ns_to_ps(ns: float) -> int:
+    """Convert nanoseconds to integer picoseconds (rounded)."""
+    return int(round(ns * NS))
+
+
+def ps_to_ns(ps: int) -> float:
+    """Convert picoseconds to nanoseconds."""
+    return ps / NS
+
+
+def ps_to_us(ps: int) -> float:
+    """Convert picoseconds to microseconds."""
+    return ps / US
+
+
+def freq_mhz_to_period_ps(mhz: float) -> int:
+    """Clock period in integer picoseconds for a frequency in MHz.
+
+    >>> freq_mhz_to_period_ps(2666)
+    375
+
+    Note: DDR buses transfer on both edges, so a "2666MHz" (really
+    2666MT/s) DDR4 device has tCK = 750ps; callers pass the actual clock
+    frequency (1333MHz) when they mean the clock.
+    """
+    return int(round(1_000_000 / mhz))
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment``."""
+    return value - (value % alignment)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment``."""
+    return align_down(value + alignment - 1, alignment)
+
+
+def is_power_of_two(value: int) -> bool:
+    """True for 1, 2, 4, 8, ...; False for 0 and non-powers."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def pretty_size(nbytes: int) -> str:
+    """Human-readable byte size, e.g. ``16K``, ``4M``, ``256``."""
+    for unit, suffix in ((GIB, "G"), (MIB, "M"), (KIB, "K")):
+        if nbytes >= unit and nbytes % unit == 0:
+            return f"{nbytes // unit}{suffix}"
+        if nbytes >= unit:
+            return f"{nbytes / unit:.1f}{suffix}"
+    return str(nbytes)
+
+
+def pretty_time(ps: int) -> str:
+    """Human-readable time for an integer picosecond value."""
+    if ps >= SEC:
+        return f"{ps / SEC:.3f}s"
+    if ps >= MS:
+        return f"{ps / MS:.3f}ms"
+    if ps >= US:
+        return f"{ps / US:.3f}us"
+    if ps >= NS:
+        return f"{ps / NS:.1f}ns"
+    return f"{ps}ps"

@@ -1,0 +1,29 @@
+"""CPU substrate (the paper's gem5 role).
+
+A trace-driven model of the Cascade-Lake-like server in Table V: an
+out-of-order-window core, a three-level cache hierarchy with MSHR-style
+miss overlap, two TLB levels with a page-table walker, and a pluggable
+memory backend (VANS, a DRAM device, or any baseline).
+
+It exists to (a) generate realistic miss streams into the memory models
+and (b) report IPC / LLC miss rate / TLB MPKI for Figures 5d, 7d, 11, 12
+and 13.
+"""
+
+from repro.cpu.cache import Cache, CacheConfig
+from repro.cpu.tlb import Tlb, TlbConfig, TlbHierarchy
+from repro.cpu.core import CoreConfig, TraceCore
+from repro.cpu.system import FullSystem, SystemReport, MemOp
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "Tlb",
+    "TlbConfig",
+    "TlbHierarchy",
+    "CoreConfig",
+    "TraceCore",
+    "FullSystem",
+    "SystemReport",
+    "MemOp",
+]

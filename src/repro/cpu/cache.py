@@ -1,0 +1,201 @@
+"""Set-associative write-back caches.
+
+Timing is returned to the caller (the core model) rather than simulated
+per cycle: a lookup reports hit/miss and the level's access latency; the
+core composes levels and overlaps misses within its ROB window.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.units import KIB, MIB, is_power_of_two
+from repro.engine.request import CACHE_LINE
+from repro.engine.stats import StatsRegistry
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry + access latency (in core cycles) of one cache level."""
+
+    name: str
+    capacity_bytes: int
+    ways: int
+    latency_cycles: int
+
+    def __post_init__(self) -> None:
+        lines = self.capacity_bytes // CACHE_LINE
+        if lines % self.ways:
+            raise ConfigError(f"{self.name}: lines not divisible by ways")
+        if not is_power_of_two(lines // self.ways):
+            raise ConfigError(f"{self.name}: set count must be a power of two")
+
+    @property
+    def nsets(self) -> int:
+        return self.capacity_bytes // CACHE_LINE // self.ways
+
+
+#: Table V cache hierarchy.
+L1D_CONFIG = CacheConfig("L1D", 32 * KIB, 8, 4)
+L2_CONFIG = CacheConfig("L2", 1 * MIB, 16, 14)
+L3_CONFIG = CacheConfig("L3", 32 * MIB, 16, 42)
+
+
+class Cache:
+    """One write-back, write-allocate, LRU set-associative cache."""
+
+    def __init__(self, config: CacheConfig, stats: Optional[StatsRegistry] = None):
+        self.config = config
+        self.stats = stats or StatsRegistry()
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(config.nsets)
+        ]
+        self._mask = config.nsets - 1
+        self._hits = self.stats.counter(f"{config.name}.hits")
+        self._misses = self.stats.counter(f"{config.name}.misses")
+        self._writebacks = self.stats.counter(f"{config.name}.writebacks")
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line = addr // CACHE_LINE
+        return line & self._mask, line
+
+    def lookup(self, addr: int, is_write: bool) -> bool:
+        """Access the cache; returns hit?.  Hits update LRU and dirty."""
+        index, tag = self._locate(addr)
+        cset = self._sets[index]
+        if tag in cset:
+            cset.move_to_end(tag)
+            if is_write:
+                cset[tag] = True
+            self._hits.add()
+            return True
+        self._misses.add()
+        return False
+
+    def fill(self, addr: int, dirty: bool = False) -> Optional[int]:
+        """Install a line; returns the victim's address if a dirty line
+        was evicted (the caller writes it back), else None."""
+        index, tag = self._locate(addr)
+        cset = self._sets[index]
+        victim_addr = None
+        if len(cset) >= self.config.ways:
+            victim_tag, victim_dirty = cset.popitem(last=False)
+            if victim_dirty:
+                self._writebacks.add()
+                victim_addr = victim_tag * CACHE_LINE
+        cset[tag] = dirty
+        return victim_addr
+
+    def contains(self, addr: int) -> bool:
+        index, tag = self._locate(addr)
+        return tag in self._sets[index]
+
+    def mark_dirty(self, addr: int) -> bool:
+        """Mark a resident line dirty (a dirty write-back from the level
+        above landed on it); returns False if the line is absent."""
+        index, tag = self._locate(addr)
+        cset = self._sets[index]
+        if tag not in cset:
+            return False
+        cset[tag] = True
+        return True
+
+    def invalidate(self, addr: int) -> None:
+        index, tag = self._locate(addr)
+        self._sets[index].pop(tag, None)
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self._hits.reset()
+        self._misses.reset()
+        self._writebacks.reset()
+
+
+class CacheHierarchy:
+    """L1D -> L2 -> L3 composition returning (level_hit, cycles, misses).
+
+    The returned cycle count covers the on-chip portion only; an L3 miss
+    additionally costs the memory backend's latency, which the core adds
+    (and overlaps across its ROB window).
+    """
+
+    def __init__(
+        self,
+        l1: CacheConfig = L1D_CONFIG,
+        l2: CacheConfig = L2_CONFIG,
+        l3: CacheConfig = L3_CONFIG,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.stats = stats or StatsRegistry()
+        self.l1 = Cache(l1, self.stats)
+        self.l2 = Cache(l2, self.stats)
+        self.l3 = Cache(l3, self.stats)
+
+    def access(self, addr: int, is_write: bool) -> Tuple[str, int, List[int]]:
+        """Returns (deepest level that hit or "mem", on-chip cycles,
+        dirty victim addresses to write back to memory)."""
+        victims: List[int] = []
+        if self.l1.lookup(addr, is_write):
+            return "l1", self.l1.config.latency_cycles, victims
+        cycles = self.l1.config.latency_cycles
+        if self.l2.lookup(addr, False):
+            cycles += self.l2.config.latency_cycles
+            self._fill_upper(addr, is_write, victims, levels=("l1",))
+            return "l2", cycles, victims
+        cycles += self.l2.config.latency_cycles
+        if self.l3.lookup(addr, False):
+            cycles += self.l3.config.latency_cycles
+            self._fill_upper(addr, is_write, victims, levels=("l1", "l2"))
+            return "l3", cycles, victims
+        cycles += self.l3.config.latency_cycles
+        self._fill_upper(addr, is_write, victims, levels=("l1", "l2", "l3"))
+        return "mem", cycles, victims
+
+    def _fill_upper(self, addr: int, is_write: bool, victims: List[int],
+                    levels) -> None:
+        """Install ``addr`` in the named levels; dirty victims demote
+        their dirty state to the next level down, or become memory
+        write-backs when no lower level holds the line."""
+        below = {"l1": ("l2", "l3"), "l2": ("l3",), "l3": ()}
+        for name in levels:
+            cache: Cache = getattr(self, name)
+            victim = cache.fill(addr, dirty=(is_write and name == "l1"))
+            if victim is None:
+                continue
+            for lower_name in below[name]:
+                lower: Cache = getattr(self, lower_name)
+                if lower.mark_dirty(victim):
+                    break
+            else:
+                victims.append(victim)
+
+    @property
+    def llc_misses(self) -> int:
+        return self.l3.misses
+
+    @property
+    def llc_miss_rate(self) -> float:
+        return self.l3.miss_rate
+
+    def reset_stats(self) -> None:
+        for cache in (self.l1, self.l2, self.l3):
+            cache.reset_stats()

@@ -1,0 +1,40 @@
+"""DDR4 DRAM substrate.
+
+Models DRAM at command level (ACT/PRE/RD/WR/REF with full timing
+constraints).  Used in three places, mirroring the paper:
+
+* the on-DIMM DDR4 DRAM that holds the Optane AIT table and AIT buffer,
+* the DRAM-main-memory baseline system for the Figure 11 speedup ratios,
+* the conventional-DRAM-architecture baselines (DRAMSim2/Ramulator-style).
+
+The command stream each controller produces can be replayed through
+:class:`~repro.dram.verifier.DDR4ProtocolChecker`, which plays the role
+of Micron's Verilog verification model in Section IV-B.
+"""
+
+from repro.dram.timing import (
+    DDR4Timing,
+    DDR4_2666,
+    DDR4_2400,
+    DDR3_1600,
+    PCM_TIMING,
+)
+from repro.dram.command import Command, CmdType
+from repro.dram.address import AddressMapping
+from repro.dram.controller import DramController
+from repro.dram.device import DramDevice
+from repro.dram.verifier import DDR4ProtocolChecker
+
+__all__ = [
+    "DDR4Timing",
+    "DDR4_2666",
+    "DDR4_2400",
+    "DDR3_1600",
+    "PCM_TIMING",
+    "Command",
+    "CmdType",
+    "AddressMapping",
+    "DramController",
+    "DramDevice",
+    "DDR4ProtocolChecker",
+]

@@ -1,0 +1,53 @@
+"""Physical-address to DRAM-coordinate mapping.
+
+The default layout is row:bank:column:offset — consecutive cache lines
+fill a row before moving to the next bank, which keeps sequential streams
+on open rows (the behaviour DRAMA-style mapping probes detect on real
+parts, and a good match for the on-DIMM DRAM where the 4KB AIT entries
+are laid out contiguously).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.units import is_power_of_two
+from repro.engine.request import CACHE_LINE
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """Decompose byte addresses into (bank, row, col).
+
+    ``row_bytes`` is the row-buffer size per bank; ``col`` indexes 64B
+    bursts within the row.
+    """
+
+    nbanks: int = 16
+    row_bytes: int = 8192
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.nbanks):
+            raise ConfigError(f"nbanks must be a power of two, got {self.nbanks}")
+        if not is_power_of_two(self.row_bytes) or self.row_bytes < CACHE_LINE:
+            raise ConfigError(f"invalid row_bytes {self.row_bytes}")
+
+    @property
+    def cols_per_row(self) -> int:
+        return self.row_bytes // CACHE_LINE
+
+    def decompose(self, addr: int) -> Tuple[int, int, int]:
+        """Return ``(bank, row, col)`` for a byte address."""
+        line = addr // CACHE_LINE
+        col = line % self.cols_per_row
+        line //= self.cols_per_row
+        bank = line % self.nbanks
+        row = line // self.nbanks
+        return bank, row, col
+
+    def compose(self, bank: int, row: int, col: int) -> int:
+        """Inverse of :meth:`decompose` (returns the line base address)."""
+        line = (row * self.nbanks + bank) * self.cols_per_row + col
+        return line * CACHE_LINE

@@ -1,0 +1,38 @@
+"""DDR command representation used by controllers and the verifier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class CmdType(Enum):
+    ACT = auto()   # activate (open) a row
+    PRE = auto()   # precharge (close) a bank
+    RD = auto()    # column read burst
+    WR = auto()    # column write burst
+    REF = auto()   # all-bank refresh
+
+
+@dataclass(frozen=True)
+class Command:
+    """One DDR command with its issue time (picoseconds).
+
+    ``row`` and ``col`` are only meaningful for ACT and RD/WR
+    respectively; they stay at -1 otherwise.
+    """
+
+    time_ps: int
+    kind: CmdType
+    bank: int
+    row: int = -1
+    col: int = -1
+
+    def __str__(self) -> str:
+        if self.kind is CmdType.ACT:
+            detail = f"row={self.row}"
+        elif self.kind in (CmdType.RD, CmdType.WR):
+            detail = f"col={self.col}"
+        else:
+            detail = ""
+        return f"{self.time_ps:>12}ps {self.kind.name:<3} bank={self.bank} {detail}"

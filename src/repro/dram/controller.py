@@ -1,0 +1,176 @@
+"""Command-level DDR4 controller.
+
+For each line access the controller issues the minimal legal command
+sequence (PRE/ACT/RD or WR plus lazy REF), tracking every JEDEC timing
+constraint from :class:`~repro.dram.timing.DDR4Timing`.  It is an
+open-page FCFS controller by default (closed-page optional); the command
+stream can be recorded and replayed through the protocol checker.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.dram.address import AddressMapping
+from repro.dram.command import Command, CmdType
+from repro.dram.timing import DDR4Timing
+from repro.engine.stats import StatsRegistry
+
+
+class _BankState:
+    __slots__ = ("open_row", "act_ps", "pre_ready_ps", "act_ready_ps")
+
+    def __init__(self) -> None:
+        self.open_row: Optional[int] = None
+        self.act_ps = 0
+        self.pre_ready_ps = 0  # earliest legal PRE
+        self.act_ready_ps = 0  # earliest legal ACT
+
+
+class DramController:
+    """One channel of DDR4: banks, timing state, and command generation."""
+
+    def __init__(
+        self,
+        timing: DDR4Timing,
+        mapping: Optional[AddressMapping] = None,
+        row_policy: str = "open",
+        record_commands: bool = False,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        if row_policy not in ("open", "closed"):
+            raise ConfigError(f"unknown row policy {row_policy!r}")
+        self.timing = timing
+        self.mapping = mapping or AddressMapping()
+        self.row_policy = row_policy
+        self.record_commands = record_commands
+        self.commands: List[Command] = []
+        self.stats = stats or StatsRegistry()
+
+        self._banks = [_BankState() for _ in range(self.mapping.nbanks)]
+        self._act_history: Deque[int] = deque(maxlen=4)  # for tFAW
+        self._last_act_ps = -(10**15)
+        self._next_cas_ps = 0          # tCCD spacing between bursts
+        self._rd_ready_after_wr_ps = 0  # tWTR
+        self._next_refresh_due = timing.ps(timing.trefi)
+        self._blocked_until_ps = 0      # tRFC after a refresh
+
+        self._hits = self.stats.counter("dram.row_hits")
+        self._misses = self.stats.counter("dram.row_misses")
+        self._reads = self.stats.counter("dram.reads")
+        self._writes = self.stats.counter("dram.writes")
+        self._refreshes = self.stats.counter("dram.refreshes")
+
+    # -- helpers -------------------------------------------------------
+
+    def _emit(self, time_ps: int, kind: CmdType, bank: int, row: int = -1,
+              col: int = -1) -> None:
+        if self.record_commands:
+            self.commands.append(Command(time_ps, kind, bank, row, col))
+
+    def _do_refresh(self, now: int) -> None:
+        """Issue any overdue all-bank refreshes before servicing ``now``."""
+        t = self.timing
+        while self._next_refresh_due <= now:
+            start = max(self._next_refresh_due, self._blocked_until_ps)
+            # All banks must be precharged before REF.
+            for bank_id, bank in enumerate(self._banks):
+                if bank.open_row is not None:
+                    pre_time = max(start, bank.pre_ready_ps)
+                    self._emit(pre_time, CmdType.PRE, bank_id)
+                    bank.open_row = None
+                    start = max(start, pre_time + t.ps(t.trp))
+            self._emit(start, CmdType.REF, -1)
+            self._refreshes.add()
+            end = start + t.ps(t.trfc)
+            self._blocked_until_ps = end
+            for bank in self._banks:
+                bank.act_ready_ps = max(bank.act_ready_ps, end)
+            self._next_refresh_due += t.ps(t.trefi)
+
+    def _open_row(self, bank_id: int, row: int, earliest: int) -> int:
+        """Ensure ``row`` is open in ``bank_id``; returns CAS-ready time."""
+        t = self.timing
+        bank = self._banks[bank_id]
+        if bank.open_row == row:
+            self._hits.add()
+            return max(earliest, bank.act_ps + t.ps(t.trcd))
+        self._misses.add()
+        when = earliest
+        if bank.open_row is not None:
+            pre_time = max(when, bank.pre_ready_ps)
+            self._emit(pre_time, CmdType.PRE, bank_id)
+            bank.open_row = None
+            bank.act_ready_ps = max(bank.act_ready_ps, pre_time + t.ps(t.trp))
+        act_time = max(when, bank.act_ready_ps, self._blocked_until_ps,
+                       self._last_act_ps + t.ps(t.trrd))
+        if len(self._act_history) == 4:
+            act_time = max(act_time, self._act_history[0] + t.ps(t.tfaw))
+        self._emit(act_time, CmdType.ACT, bank_id, row=row)
+        bank.open_row = row
+        bank.act_ps = act_time
+        bank.pre_ready_ps = act_time + t.ps(t.tras)
+        bank.act_ready_ps = act_time + t.ps(t.trc)
+        self._last_act_ps = act_time
+        self._act_history.append(act_time)
+        return act_time + t.ps(t.trcd)
+
+    # -- public API ----------------------------------------------------
+
+    def access(self, addr: int, is_write: bool, now: int) -> int:
+        """Perform one 64B access; returns the data completion time.
+
+        For reads this is the time of the last data beat on the bus; for
+        writes it is the end of the write burst (write data has entered
+        the array interface; durability rules are enforced via tWR before
+        any later PRE).
+        """
+        self._do_refresh(now)
+        t = self.timing
+        bank_id, row, col = self.mapping.decompose(addr)
+        cas_ready = self._open_row(bank_id, row, max(now, self._blocked_until_ps))
+        cas_time = max(cas_ready, self._next_cas_ps)
+        if not is_write:
+            cas_time = max(cas_time, self._rd_ready_after_wr_ps)
+
+        bank = self._banks[bank_id]
+        burst = t.ps(t.burst_cycles)
+        if is_write:
+            self._emit(cas_time, CmdType.WR, bank_id, row=row, col=col)
+            self._writes.add()
+            data_end = cas_time + t.ps(t.cwl) + burst
+            bank.pre_ready_ps = max(bank.pre_ready_ps, data_end + t.ps(t.twr))
+            self._rd_ready_after_wr_ps = max(
+                self._rd_ready_after_wr_ps, data_end + t.ps(t.twtr)
+            )
+        else:
+            self._emit(cas_time, CmdType.RD, bank_id, row=row, col=col)
+            self._reads.add()
+            data_end = cas_time + t.ps(t.cl) + burst
+            bank.pre_ready_ps = max(bank.pre_ready_ps, cas_time + t.ps(t.trtp))
+        self._next_cas_ps = cas_time + t.ps(t.tccd)
+
+        if self.row_policy == "closed":
+            pre_time = bank.pre_ready_ps
+            self._emit(pre_time, CmdType.PRE, bank_id)
+            bank.open_row = None
+            bank.act_ready_ps = max(bank.act_ready_ps, pre_time + t.ps(t.trp))
+        return data_end
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self._hits.value + self._misses.value
+        return self._hits.value / total if total else 0.0
+
+    def reset(self) -> None:
+        """Forget all timing/row state (used between experiment phases)."""
+        t = self.timing
+        self.__init__(
+            timing=t,
+            mapping=self.mapping,
+            row_policy=self.row_policy,
+            record_commands=self.record_commands,
+            stats=self.stats,
+        )

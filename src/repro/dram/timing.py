@@ -1,0 +1,144 @@
+"""DDR timing parameter sets.
+
+All parameters are stored in clock cycles (of tCK) exactly as JEDEC
+datasheets specify them; helpers convert to picoseconds.  The DDR4-2666
+set matches the grade the paper's server uses (Table III/V: 2666MT/s with
+tCAS(19) tRCD(19) tRP(19) tRAS(43)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DDR4Timing:
+    """JEDEC-style timing parameters (cycles unless noted).
+
+    ``tck_ps`` is the clock period in picoseconds; at 2666MT/s the clock
+    runs at 1333MHz so tCK = 750ps.
+    """
+
+    name: str
+    tck_ps: int
+    burst_length: int  # transfers per burst (8 for DDR4 BL8)
+    cl: int            # CAS latency (RD -> first data)
+    cwl: int           # CAS write latency (WR -> first data in)
+    trcd: int          # ACT -> RD/WR
+    trp: int           # PRE -> ACT
+    tras: int          # ACT -> PRE
+    trrd: int          # ACT -> ACT, different banks
+    tfaw: int          # window for at most 4 ACTs
+    tccd: int          # RD->RD / WR->WR burst spacing
+    twr: int           # end of write data -> PRE
+    twtr: int          # end of write data -> RD
+    trtp: int          # RD -> PRE
+    trefi: int         # average refresh interval
+    trfc: int          # refresh cycle time
+
+    def __post_init__(self) -> None:
+        if self.tck_ps <= 0:
+            raise ConfigError("tCK must be positive")
+        if self.tras < self.trcd:
+            raise ConfigError("tRAS must cover tRCD")
+
+    @property
+    def trc(self) -> int:
+        """ACT -> ACT, same bank."""
+        return self.tras + self.trp
+
+    @property
+    def burst_cycles(self) -> int:
+        """Data-bus occupancy of one burst in clock cycles (DDR: BL/2)."""
+        return self.burst_length // 2
+
+    def ps(self, cycles: int) -> int:
+        """Convert a cycle count to picoseconds."""
+        return cycles * self.tck_ps
+
+    def read_latency_ps(self) -> int:
+        """RD command to last data beat."""
+        return self.ps(self.cl + self.burst_cycles)
+
+    def scaled(self, name: str, read_scale: float, write_scale: float) -> "DDR4Timing":
+        """Derive a slower technology (the 'NVRAM as slow DRAM' model).
+
+        This is exactly what conventional simulators' PCM models do: keep
+        the DDR state machine and stretch array timings.
+        """
+        return replace(
+            self,
+            name=name,
+            trcd=int(round(self.trcd * read_scale)),
+            tras=int(round(self.tras * write_scale)),
+            trp=int(round(self.trp * write_scale)),
+            twr=int(round(self.twr * write_scale)),
+        )
+
+
+#: DDR4-2666 (the paper's server DIMMs, Table V: 19-19-19-43).
+DDR4_2666 = DDR4Timing(
+    name="DDR4-2666",
+    tck_ps=750,
+    burst_length=8,
+    cl=19,
+    cwl=14,
+    trcd=19,
+    trp=19,
+    tras=43,
+    trrd=7,
+    tfaw=30,
+    tccd=7,
+    twr=20,
+    twtr=10,
+    trtp=10,
+    trefi=10400,  # 7.8us / 750ps
+    trfc=467,     # 350ns for 8Gb parts
+)
+
+#: DDR4-2400 (17-17-17-39).
+DDR4_2400 = DDR4Timing(
+    name="DDR4-2400",
+    tck_ps=833,
+    burst_length=8,
+    cl=17,
+    cwl=12,
+    trcd=17,
+    trp=17,
+    tras=39,
+    trrd=6,
+    tfaw=26,
+    tccd=6,
+    twr=18,
+    twtr=9,
+    trtp=9,
+    trefi=9363,
+    trfc=420,
+)
+
+#: DDR3-1600 (11-11-11-28) for the DRAMSim2-style baseline.
+DDR3_1600 = DDR4Timing(
+    name="DDR3-1600",
+    tck_ps=1250,
+    burst_length=8,
+    cl=11,
+    cwl=8,
+    trcd=11,
+    trp=11,
+    tras=28,
+    trrd=5,
+    tfaw=24,
+    tccd=4,
+    twr=12,
+    twtr=6,
+    trtp=6,
+    trefi=6240,
+    trfc=208,
+)
+
+#: Ramulator-style PCM plug-in: DDR4 state machine with stretched array
+#: timings (~4.4x reads, ~12x writes at the array), per common PCM params
+#: (tRCD ~ 55ns read, write restore ~ 150ns+).
+PCM_TIMING = DDR4_2666.scaled("PCM-2666", read_scale=4.4, write_scale=8.0)

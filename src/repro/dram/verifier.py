@@ -1,0 +1,143 @@
+"""DDR4 protocol checker.
+
+Replays a command trace and asserts every timing/state rule the
+controller is supposed to honour.  This is an *independent*
+implementation of the constraints (it shares only the timing numbers), so
+a controller bug shows up as a :class:`ProtocolError` — the same role
+Micron's Verilog model plays in the paper's Section IV-B verification.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from repro.common.errors import ProtocolError
+from repro.dram.command import Command, CmdType
+from repro.dram.timing import DDR4Timing
+
+
+class _CheckBank:
+    __slots__ = ("open_row", "act_ps", "last_rd_ps", "wr_data_end_ps", "pre_ps")
+
+    def __init__(self) -> None:
+        self.open_row: Optional[int] = None
+        self.act_ps: Optional[int] = None
+        self.last_rd_ps: Optional[int] = None
+        self.wr_data_end_ps: Optional[int] = None
+        self.pre_ps: Optional[int] = None
+
+
+class DDR4ProtocolChecker:
+    """Validates a DDR4 command stream against the JEDEC rules.
+
+    Usage::
+
+        checker = DDR4ProtocolChecker(DDR4_2666, nbanks=16)
+        checker.check(controller.commands)   # raises ProtocolError on bug
+    """
+
+    def __init__(self, timing: DDR4Timing, nbanks: int = 16) -> None:
+        self.timing = timing
+        self.nbanks = nbanks
+        self.violations: List[str] = []
+
+    def _fail(self, cmd: Command, rule: str, detail: str) -> None:
+        raise ProtocolError(f"{rule} violated by [{cmd}]: {detail}")
+
+    def check(self, commands: Iterable[Command], sort: bool = True) -> int:
+        """Replay ``commands``; raises on the first violation.
+
+        Commands are sorted by issue time first (``sort=True``): the
+        controller may *record* commands for overlapping transactions out
+        of wall-clock order, but legality is defined over the time-ordered
+        stream the bus would carry.  Returns the number checked.
+        """
+        t = self.timing
+        if sort:
+            commands = sorted(commands, key=lambda c: c.time_ps)
+        banks = [_CheckBank() for _ in range(self.nbanks)]
+        act_history: Deque[int] = deque(maxlen=4)
+        last_act_ps: Optional[int] = None
+        last_cas_ps: Optional[int] = None
+        last_wr_data_end: Optional[int] = None
+        ref_end_ps = 0
+        last_time = -1
+        count = 0
+
+        for cmd in commands:
+            count += 1
+            if cmd.time_ps < last_time:
+                self._fail(cmd, "ordering", "command trace not time-ordered")
+            last_time = cmd.time_ps
+            if cmd.kind is not CmdType.REF and cmd.time_ps < ref_end_ps:
+                self._fail(cmd, "tRFC", f"command during refresh (until {ref_end_ps})")
+
+            if cmd.kind is CmdType.ACT:
+                bank = banks[cmd.bank]
+                if bank.open_row is not None:
+                    self._fail(cmd, "state", "ACT to a bank with an open row")
+                if bank.pre_ps is not None and cmd.time_ps < bank.pre_ps + t.ps(t.trp):
+                    self._fail(cmd, "tRP", f"ACT {cmd.time_ps - bank.pre_ps}ps after PRE")
+                if bank.act_ps is not None and cmd.time_ps < bank.act_ps + t.ps(t.trc):
+                    self._fail(cmd, "tRC", "same-bank ACT too soon")
+                if last_act_ps is not None and cmd.time_ps < last_act_ps + t.ps(t.trrd):
+                    self._fail(cmd, "tRRD", "ACT-to-ACT spacing too small")
+                if len(act_history) == 4 and cmd.time_ps < act_history[0] + t.ps(t.tfaw):
+                    self._fail(cmd, "tFAW", "5th ACT inside the tFAW window")
+                bank.open_row = cmd.row
+                bank.act_ps = cmd.time_ps
+                bank.last_rd_ps = None
+                bank.wr_data_end_ps = None
+                last_act_ps = cmd.time_ps
+                act_history.append(cmd.time_ps)
+
+            elif cmd.kind in (CmdType.RD, CmdType.WR):
+                bank = banks[cmd.bank]
+                if bank.open_row is None:
+                    self._fail(cmd, "state", "column access to a precharged bank")
+                if cmd.row != -1 and bank.open_row != cmd.row:
+                    self._fail(cmd, "state", f"column access to row {cmd.row} while "
+                                             f"row {bank.open_row} is open")
+                assert bank.act_ps is not None
+                if cmd.time_ps < bank.act_ps + t.ps(t.trcd):
+                    self._fail(cmd, "tRCD", "column access before tRCD")
+                if last_cas_ps is not None and cmd.time_ps < last_cas_ps + t.ps(t.tccd):
+                    self._fail(cmd, "tCCD", "burst spacing too small")
+                if cmd.kind is CmdType.RD:
+                    if (last_wr_data_end is not None
+                            and cmd.time_ps < last_wr_data_end + t.ps(t.twtr)):
+                        self._fail(cmd, "tWTR", "read too soon after write data")
+                    bank.last_rd_ps = cmd.time_ps
+                else:
+                    data_end = cmd.time_ps + t.ps(t.cwl) + t.ps(t.burst_cycles)
+                    bank.wr_data_end_ps = data_end
+                    last_wr_data_end = max(last_wr_data_end or 0, data_end)
+                last_cas_ps = cmd.time_ps
+
+            elif cmd.kind is CmdType.PRE:
+                bank = banks[cmd.bank]
+                if bank.open_row is None:
+                    # PRE to an idle bank is legal (NOP), but we flag it as
+                    # sloppy controller behaviour rather than an error.
+                    self.violations.append(f"redundant PRE at {cmd.time_ps}")
+                    continue
+                assert bank.act_ps is not None
+                if cmd.time_ps < bank.act_ps + t.ps(t.tras):
+                    self._fail(cmd, "tRAS", "PRE before tRAS")
+                if (bank.last_rd_ps is not None
+                        and cmd.time_ps < bank.last_rd_ps + t.ps(t.trtp)):
+                    self._fail(cmd, "tRTP", "PRE too soon after read")
+                if (bank.wr_data_end_ps is not None
+                        and cmd.time_ps < bank.wr_data_end_ps + t.ps(t.twr)):
+                    self._fail(cmd, "tWR", "PRE before write recovery")
+                bank.open_row = None
+                bank.pre_ps = cmd.time_ps
+
+            elif cmd.kind is CmdType.REF:
+                for bank_id, bank in enumerate(banks):
+                    if bank.open_row is not None:
+                        self._fail(cmd, "state", f"REF with bank {bank_id} open")
+                ref_end_ps = cmd.time_ps + t.ps(t.trfc)
+
+        return count

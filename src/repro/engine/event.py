@@ -1,0 +1,114 @@
+"""Discrete-event simulation kernel.
+
+The kernel keeps a heap of ``(time, sequence, callback)`` entries.  The
+sequence number makes event ordering fully deterministic when several
+events share a timestamp (FIFO among equal times), which keeps every
+experiment reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+
+class Event:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (O(1); the heap entry stays)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Engine:
+    """Event loop with an integer-picosecond clock."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._heap: List[Event] = []
+        self._processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._processed
+
+    def pending(self) -> int:
+        """Number of not-yet-fired (possibly cancelled) events."""
+        return len(self._heap)
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now {self._now}"
+            )
+        self._seq += 1
+        event = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` picoseconds."""
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` callbacks have fired.  Returns the final time.
+        """
+        fired = 0
+        while self._heap:
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fn(*event.args)
+            self._processed += 1
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def step(self) -> Optional[Tuple[int, Callable[..., Any]]]:
+        """Fire exactly one (non-cancelled) event; return (time, fn) or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fn(*event.args)
+            self._processed += 1
+            return (event.time, event.fn)
+        return None
+
+    def advance(self, time: int) -> None:
+        """Move the clock forward without firing events (idle time)."""
+        if time < self._now:
+            raise SimulationError(f"cannot move time backwards to {time}")
+        self._now = time

@@ -1,0 +1,13 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(scale=...)`` returning an
+:class:`~repro.experiments.common.ExperimentResult` whose rows/series
+mirror what the paper plots, plus the digitized reference values where
+the paper reported measurements.  ``render()`` pretty-prints the
+comparison; benchmarks under ``benchmarks/`` call these and record the
+numbers in EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import ExperimentResult, Scale
+
+__all__ = ["ExperimentResult", "Scale"]

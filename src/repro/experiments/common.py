@@ -1,0 +1,68 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.stats import LatencySeries
+
+
+class Scale(Enum):
+    """Experiment sizing.
+
+    SMOKE keeps every experiment in CI-seconds territory; PAPER uses the
+    full sweeps (minutes in pure Python).  Both produce the same curve
+    *shapes*; PAPER adds points and samples.
+    """
+
+    SMOKE = "smoke"
+    PAPER = "paper"
+
+
+@dataclass
+class ExperimentResult:
+    """Rows/series of one reproduced table or figure."""
+
+    experiment: str
+    title: str
+    columns: List[str] = field(default_factory=list)
+    rows: List[Sequence] = field(default_factory=list)
+    series: Dict[str, LatencySeries] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_row(self, *values) -> None:
+        self.rows.append(tuple(values))
+
+    def render(self) -> str:
+        """Aligned-text rendering of the rows plus headline metrics."""
+        out = [f"== {self.experiment}: {self.title} =="]
+        if self.columns:
+            widths = [len(c) for c in self.columns]
+            str_rows = []
+            for row in self.rows:
+                cells = [_fmt(v) for v in row]
+                widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+                str_rows.append(cells)
+            header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+            out.append(header)
+            out.append("-" * len(header))
+            for cells in str_rows:
+                out.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        for key, value in self.metrics.items():
+            out.append(f"{key}: {_fmt(value)}")
+        if self.notes:
+            out.append(f"note: {self.notes}")
+        return "\n".join(out)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)

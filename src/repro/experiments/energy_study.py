@@ -1,0 +1,93 @@
+"""Energy study (extension beyond the paper's evaluation).
+
+Applies the energy model to the workloads the paper profiles:
+
+* read vs write energy per GB of traffic (writes dominate — the
+  3D-XPoint program energy plus RMW amplification);
+* the Lazy cache's energy saving on concentrated writes (it was
+  motivated by performance in Section V-C, but absorbing hot writes
+  also removes their media-program and migration energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.rng import make_rng
+from repro.common.units import KIB, MIB
+from repro.energy import energy_of
+from repro.experiments.common import ExperimentResult, Scale
+from repro.media.wear import WearConfig
+from repro.vans import VansConfig, VansSystem
+
+
+def run_read_vs_write(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Energy per MB of traffic, by access pattern."""
+    nops = 1500 if scale is Scale.SMOKE else 8000
+    rng = make_rng(31, "energy")
+    patterns = {
+        "sequential-read": ("r", lambda i: i * 64),
+        "random-read": ("r", lambda i: rng.randrange(1 << 20) * 64),
+        "sequential-write": ("w", lambda i: i * 64),
+        "random-write": ("w", lambda i: rng.randrange(1 << 20) * 64),
+    }
+    result = ExperimentResult(
+        "energy-rw", "energy per MB of requested traffic (uJ/MB)",
+        columns=["pattern", "uJ/MB", "media-write share"],
+    )
+    for name, (kind, addr_fn) in patterns.items():
+        system = VansSystem()
+        now = 0
+        for i in range(nops):
+            addr = addr_fn(i)
+            now = (system.write(addr, now) if kind == "w"
+                   else system.read(addr, now))
+        system.fence(now)
+        report = energy_of(system)
+        mb = nops * 64 / MIB
+        result.add_row(name, report.total_j * 1e6 / mb,
+                       report.fraction("media-write"))
+    by_name = {row[0]: row[1] for row in result.rows}
+    result.metrics["random_write_over_seq_read"] = (
+        by_name["random-write"] / by_name["sequential-read"])
+    result.notes = ("random small writes are the energy worst case: "
+                    "program energy + RMW merge fills + amplification")
+    return result
+
+
+def run_lazy_cache_energy(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Energy of a concentrated overwrite stream with/without Lazy cache."""
+    threshold = 400
+    iters = threshold * (4 if scale is Scale.SMOKE else 12)
+
+    def run(lazy: bool):
+        cfg = VansConfig().with_lazy_cache(lazy)
+        cfg = replace(cfg, dimm=replace(
+            cfg.dimm, wear=WearConfig(migrate_threshold=threshold)))
+        system = VansSystem(cfg)
+        now = 0
+        for _ in range(iters):
+            for line in range(0, 256, 64):
+                now = system.write(line, now)
+            now = system.fence(now)
+        return energy_of(system)
+
+    base = run(False)
+    lazy = run(True)
+    result = ExperimentResult(
+        "energy-lazy", "Lazy cache energy effect (hot 256B overwrite)",
+        columns=["configuration", "total uJ", "media-write uJ",
+                 "migration uJ"],
+    )
+    for name, rep in (("baseline", base), ("lazy cache", lazy)):
+        result.add_row(name, rep.total_j * 1e6,
+                       rep.by_component["media-write"] * 1e6,
+                       rep.by_component["wear-migration"] * 1e6)
+    result.metrics["energy_saving"] = 1.0 - lazy.total_j / base.total_j
+    result.notes = ("absorbing wear-hot writes in 3KB of SRAM removes "
+                    "their media-program and migration energy")
+    return result
+
+
+def run(scale: Scale = Scale.SMOKE):
+    return run_read_vs_write(scale), run_lazy_cache_energy(scale)

@@ -1,0 +1,58 @@
+"""Machine-readable export of experiment results.
+
+``ExperimentResult`` renders for terminals; this module serializes the
+same data to JSON (one document per run, all experiments included) and
+CSV (one file per result) so external plotting/diffing tools can consume
+the reproduction's numbers.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.experiments.common import ExperimentResult
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Plain-dict form of one result (JSON-safe)."""
+    return {
+        "experiment": result.experiment,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [list(row) for row in result.rows],
+        "series": {
+            name: {"x": series.xs, "y": series.values}
+            for name, series in result.series.items()
+        },
+        "metrics": dict(result.metrics),
+        "notes": result.notes,
+    }
+
+
+def save_json(results: Iterable[ExperimentResult],
+              path: Union[str, Path]) -> int:
+    """Write all results as one JSON document; returns the count."""
+    payload = [result_to_dict(r) for r in results]
+    with open(path, "w", encoding="ascii") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+    return len(payload)
+
+
+def load_json(path: Union[str, Path]) -> List[dict]:
+    """Read back a results document."""
+    with open(path, "r", encoding="ascii") as fh:
+        return json.load(fh)
+
+
+def save_csv(result: ExperimentResult, path: Union[str, Path]) -> int:
+    """Write one result's rows as CSV; returns the row count."""
+    with open(path, "w", encoding="ascii", newline="") as fh:
+        writer = csv.writer(fh)
+        if result.columns:
+            writer.writerow(result.columns)
+        for row in result.rows:
+            writer.writerow(row)
+    return len(result.rows)

@@ -1,0 +1,98 @@
+"""Figure 1 — the motivating discrepancy: PMEP emulation vs Optane.
+
+(a) single-thread bandwidth for load / store / store+clwb / store-nt:
+    PMEP orders cached stores above nt-stores; the real device inverts
+    that (nt-stores win, cached stores trail far behind loads).
+(b) pointer-chasing read latency per CL across region sizes: PMEP is
+    flat (a slower DRAM); Optane shows the on-DIMM buffer tiers.
+
+The "Optane" side is the digitized reference; the "VANS" series is our
+simulator run through the same microbenchmarks, included to show the
+model reproduces the measured shape the emulators miss.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.pmep import PMEPModel
+from repro.common.units import KIB, MIB
+from repro.experiments.common import ExperimentResult, Scale
+from repro.lens.microbench.pointer_chasing import PointerChasing
+from repro.lens.microbench.stride import Stride
+from repro.reference import OptaneReference
+from repro.vans import VansSystem
+
+OPS = ["load", "store", "store-clwb", "store-nt"]
+
+
+def run_bandwidth(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Fig. 1a: single-thread bandwidth, PMEP vs Optane."""
+    result = ExperimentResult(
+        "fig1a", "single-thread bandwidth (GB/s)",
+        columns=["op", "pmep", "optane(ref)"],
+    )
+    ref = OptaneReference()
+    total = (4 if scale is Scale.SMOKE else 32) * MIB
+    stride = Stride(read_window=16)
+
+    for op in OPS:
+        pmep = PMEPModel()
+        if op == "load":
+            pmep_bw = stride.read_bandwidth_gbs(pmep, total)
+        elif op == "store-nt":
+            pmep_bw = stride.write_bandwidth_gbs(pmep, total, mode="nt")
+        else:
+            # PMEP's delay injection does not slow ownership reads, so
+            # cached-store streams run at (throttled) DRAM speed.
+            pmep_bw = stride.write_bandwidth_gbs(pmep, total, mode="cached")
+        optane_bw = ref.bandwidth_gbs(op, "optane-6dimm")
+        result.add_row(op, pmep_bw, optane_bw)
+
+    pmep_store = result.rows[1][1]
+    pmep_nt = result.rows[3][1]
+    opt_store = result.rows[1][2]
+    opt_nt = result.rows[3][2]
+    result.metrics["pmep_store_over_nt"] = pmep_store / pmep_nt
+    result.metrics["optane_nt_over_store"] = opt_nt / opt_store
+    result.notes = ("PMEP ranks cached stores above nt-stores; Optane "
+                    "inverts the ordering — the Fig. 1a discrepancy.")
+    return result
+
+
+def run_latency(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Fig. 1b: pointer-chasing read latency, PMEP vs Optane vs VANS."""
+    if scale is Scale.SMOKE:
+        regions: List[int] = [1 * KIB, 16 * KIB, 64 * KIB, 1 * MIB,
+                              16 * MIB, 64 * MIB, 128 * MIB]
+    else:
+        regions = [64 * (1 << i) for i in range(0, 23, 2)]
+        regions = [max(r, 1 * KIB) for r in regions]
+    pc = PointerChasing(seed=1)
+    ref = OptaneReference()
+
+    pmep_series = pc.latency_sweep(lambda: PMEPModel(), regions, op="read")
+    vans_series = pc.latency_sweep(lambda: VansSystem(), regions, op="read")
+
+    result = ExperimentResult(
+        "fig1b", "pointer-chasing read latency per CL (ns)",
+        columns=["region", "pmep", "optane(ref)", "vans"],
+    )
+    for (region, pmep_lat), (_, vans_lat) in zip(pmep_series, vans_series):
+        result.add_row(int(region), pmep_lat,
+                       ref.pc_read_latency_ns(int(region)), vans_lat)
+    result.series["pmep"] = pmep_series
+    result.series["vans"] = vans_series
+
+    pmep_vals = pmep_series.values
+    vans_vals = vans_series.values
+    result.metrics["pmep_flatness"] = max(pmep_vals) / max(min(pmep_vals), 1e-9)
+    result.metrics["vans_dynamic_range"] = max(vans_vals) / max(min(vans_vals), 1e-9)
+    result.notes = ("PMEP stays flat across regions; the real device (and "
+                    "VANS) rises through the 16KB and 16MB buffer tiers.")
+    return result
+
+
+def run(scale: Scale = Scale.SMOKE):
+    """Both panels."""
+    return run_bandwidth(scale), run_latency(scale)

@@ -1,0 +1,135 @@
+"""Figure 5 — LENS buffer prober on the Optane-like DIMM.
+
+(a) load/store latency per CL, 64B PC-Block, across region sizes: read
+    inflections at 16KB (RMW buffer) and 16MB (AIT buffer); write
+    inflections at 512B (WPQ) and 4KB (LSQ);
+(b) the same with 256B PC-Blocks;
+(c) read-after-write vs the sum of independent read and write latency:
+    RaW >> R+W for small regions (fence + bus redirection), converging
+    as the region approaches/exceeds the LSQ reach — the inclusive-
+    hierarchy evidence;
+(d) L2 TLB MPKI of the load test stays flat across regions, ruling out
+    TLB misses as the cause of the latency inflections.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.units import KIB, MIB
+from repro.cpu.tlb import TlbHierarchy
+from repro.engine.stats import LatencySeries
+from repro.experiments.common import ExperimentResult, Scale
+from repro.lens.analysis import find_inflections
+from repro.lens.microbench.pointer_chasing import PointerChasing
+from repro.lens.probers.buffer import DEFAULT_READ_REGIONS, DEFAULT_WRITE_REGIONS
+from repro.vans import VansSystem
+
+
+def _regions(scale: Scale) -> List[int]:
+    if scale is Scale.SMOKE:
+        return [1 * KIB, 4 * KIB, 16 * KIB, 64 * KIB, 256 * KIB, 1 * MIB,
+                4 * MIB, 16 * MIB, 64 * MIB, 128 * MIB]
+    return list(DEFAULT_READ_REGIONS)
+
+
+def run_latency(scale: Scale = Scale.SMOKE, block: int = 64
+                ) -> ExperimentResult:
+    """Fig. 5a (block=64) / Fig. 5b (block=256)."""
+    regions = _regions(scale)
+    write_regions = list(DEFAULT_WRITE_REGIONS)
+    pc = PointerChasing(seed=5)
+    factory = lambda: VansSystem()  # noqa: E731
+
+    ld = pc.latency_sweep(factory, regions, block=block, op="read")
+    st = pc.latency_sweep(factory, write_regions, block=block, op="write")
+
+    panel = "fig5a" if block == 64 else "fig5b"
+    result = ExperimentResult(
+        panel, f"ld/st latency per CL (ns), {block}B PC-Block",
+        columns=["region", "ld (ns)", "", "st-region", "st (ns)"],
+    )
+    for i in range(max(len(ld), len(st))):
+        ld_part = (int(ld.xs[i]), ld.values[i]) if i < len(ld) else ("", "")
+        st_part = (int(st.xs[i]), st.values[i]) if i < len(st) else ("", "")
+        result.add_row(ld_part[0], ld_part[1], "|", st_part[0], st_part[1])
+    result.series["ld"] = ld
+    result.series["st"] = st
+    result.metrics["read_inflections"] = str(find_inflections(ld))
+    result.metrics["write_inflections"] = str(find_inflections(st))
+    result.notes = ("expected: reads inflect at 16K/16M (RMW/AIT); "
+                    "writes at 512/4K (WPQ/LSQ)")
+    return result
+
+
+def run_raw(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Fig. 5c: RaW vs R+W."""
+    regions = [r for r in _regions(scale) if r <= 32 * MIB]
+    if scale is Scale.SMOKE:
+        regions = [1 * KIB, 4 * KIB, 64 * KIB, 1 * MIB, 8 * MIB, 32 * MIB]
+    pc = PointerChasing(seed=6)
+    raw, rpw = pc.raw_sweep(lambda: VansSystem(), regions)
+    result = ExperimentResult(
+        "fig5c", "read-after-write roundtrip vs R+W (ns per CL)",
+        columns=["region", "RaW", "R+W", "RaW/R+W"],
+    )
+    for (region, a), (_, b) in zip(raw, rpw):
+        result.add_row(int(region), a, b, a / b if b else 0.0)
+    result.series["raw"] = raw
+    result.series["rpw"] = rpw
+    small = raw.values[0] / max(rpw.values[0], 1e-9)
+    large = raw.values[-1] / max(rpw.values[-1], 1e-9)
+    result.metrics["raw_over_rpw_small"] = small
+    result.metrics["raw_over_rpw_large"] = large
+    result.notes = ("RaW >> R+W at small regions (mfence flushes the LSQ; "
+                    "bus redirection); no fast-forward dip at 16MB, so the "
+                    "buffers form an inclusive hierarchy.")
+    return result
+
+
+def run_tlb(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Fig. 5d: L2 TLB MPKI of the load test is flat across regions.
+
+    Replays the pointer-chasing address stream through the TLB model.
+    LENS runs in the kernel on the direct (linear) mapping, which uses
+    2MB pages — modeled by scaling vaddrs so one 4KB TLB entry covers a
+    2MB extent — so even a 128MB region needs only 64 translations and
+    the miss rate stays flat; TLB misses cannot be what bends the
+    latency curves at 16KB/16MB."""
+    regions = _regions(scale)
+    pc = PointerChasing(seed=5)
+    series = LatencySeries("stlb-mpki")
+    result = ExperimentResult(
+        "fig5d", "L2 TLB MPKI during the load test",
+        columns=["region", "stlb-mpki"],
+    )
+    instrs_per_op = 8
+    hugepage_scale = (2 * MIB) // (4 * KIB)
+    for region in regions:
+        tlbs = TlbHierarchy()
+        order = pc._block_order(region, 64, f"tlb-{region}")
+        # warm pass then measured pass, like the latency measurements
+        for _pass in range(2):
+            if _pass == 1:
+                tlbs.reset_stats()
+            for addr in order:
+                vaddr = addr // hugepage_scale
+                needs_walk, _, _ = tlbs.translate(vaddr)
+                if needs_walk:
+                    tlbs.install(vaddr)
+        mpki = 1000.0 * tlbs.stlb_misses / (len(order) * instrs_per_op)
+        series.add(region, mpki)
+        result.add_row(int(region), mpki)
+    result.series["stlb_mpki"] = series
+    vals = [v for v in series.values]
+    spread = (max(vals) - min(vals))
+    result.metrics["mpki_spread"] = spread
+    result.notes = ("MPKI varies smoothly with region and shows no jump at "
+                    "16KB/16MB: TLB misses do not explain the latency "
+                    "inflections.")
+    return result
+
+
+def run(scale: Scale = Scale.SMOKE):
+    return (run_latency(scale, 64), run_latency(scale, 256),
+            run_raw(scale), run_tlb(scale))

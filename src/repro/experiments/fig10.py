@@ -1,0 +1,80 @@
+"""Figure 10 — sensitivity of the VANS latency curves.
+
+(a) media capacity (2/4/8/16 GB): the curves are invariant because the
+    on-DIMM buffers and queues hide the media behind fixed-size tiers;
+(b) DIMM count (1/2/4/6, 4KB interleaved): more DIMMs postpone the
+    buffering inflections (aggregate buffer capacity grows) and reduce
+    store latency once the WPQ would have overflowed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.units import GIB, KIB, MIB
+from repro.experiments.common import ExperimentResult, Scale
+from repro.lens.microbench.pointer_chasing import PointerChasing
+from repro.vans import VansConfig, VansSystem
+
+
+def _regions(scale: Scale) -> List[int]:
+    if scale is Scale.SMOKE:
+        return [1 * KIB, 16 * KIB, 256 * KIB, 4 * MIB, 16 * MIB, 64 * MIB]
+    return [64 * (1 << i) for i in range(4, 21)]
+
+
+def run_capacity(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Fig. 10a: media capacity does not move the latency curves."""
+    regions = _regions(scale)
+    pc = PointerChasing(seed=12)
+    result = ExperimentResult(
+        "fig10a", "ld latency per CL (ns) across media capacities",
+        columns=["region"] + [f"{g}GB" for g in (2, 4, 8, 16)],
+    )
+    curves = {}
+    for gb in (2, 4, 8, 16):
+        cfg = VansConfig().with_media_capacity(gb * GIB)
+        curves[gb] = pc.latency_sweep(lambda c=cfg: VansSystem(c), regions,
+                                      op="read")
+        result.series[f"{gb}GB"] = curves[gb]
+    for i, region in enumerate(regions):
+        result.add_row(region, *(curves[g].values[i] for g in (2, 4, 8, 16)))
+    spreads = []
+    for i in range(len(regions)):
+        vals = [curves[g].values[i] for g in (2, 4, 8, 16)]
+        spreads.append((max(vals) - min(vals)) / max(vals))
+    result.metrics["max_relative_spread"] = max(spreads)
+    result.notes = "expected: curves coincide (media latency is hidden)"
+    return result
+
+
+def run_dimm_count(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Fig. 10b: more interleaved DIMMs postpone the buffering effects."""
+    regions = _regions(scale)
+    pc = PointerChasing(seed=13)
+    counts = (1, 2, 4, 6)
+    result = ExperimentResult(
+        "fig10b", "ld latency per CL (ns) across DIMM counts",
+        columns=["region"] + [f"{n}dimm" for n in counts],
+    )
+    curves = {}
+    for n in counts:
+        cfg = VansConfig().with_dimms(n)
+        curves[n] = pc.latency_sweep(lambda c=cfg: VansSystem(c), regions,
+                                     op="read")
+        result.series[f"{n}dimm"] = curves[n]
+    for i, region in enumerate(regions):
+        result.add_row(region, *(curves[n].values[i] for n in counts))
+    # at a region that overflows one DIMM's RMW reach but not six DIMMs'
+    probe = 64 * KIB
+    if probe in regions:
+        i = regions.index(probe)
+        result.metrics["lat_1dimm_at_64K"] = curves[1].values[i]
+        result.metrics["lat_6dimm_at_64K"] = curves[6].values[i]
+    result.notes = ("expected: with N DIMMs the aggregate buffer reach is "
+                    "N x 16KB/16MB, so inflections shift right")
+    return result
+
+
+def run(scale: Scale = Scale.SMOKE):
+    return run_capacity(scale), run_dimm_count(scale)

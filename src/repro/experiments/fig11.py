@@ -1,0 +1,88 @@
+"""Figure 11 — full-system SPEC validation.
+
+Per selected SPEC CPU 2006/2017 benchmark (Table IV):
+
+(a) IPC of the DRAM-backed simulation vs the DRAM server measurement;
+(b) LLC miss rate, same comparison;
+(c) DRAM->NVRAM speedup (ExecTimeDRAM / ExecTimeNVRAM < 1) of
+    VANS-backed and Ramulator-PCM-backed simulation vs the Optane
+    server;
+(d) geometric-mean accuracy: VANS ~87% vs Ramulator-PCM ~66% in the
+    paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.slow_dram import ramulator_ddr4, ramulator_pcm
+from repro.cpu import FullSystem
+from repro.experiments.common import ExperimentResult, Scale
+from repro.lens.analysis import geomean
+from repro.reference import SPEC_REFERENCE
+from repro.vans import VansConfig, VansSystem
+from repro.workloads import spec_trace
+
+DEFAULT_WORKLOADS = [row.name for row in SPEC_REFERENCE]
+
+
+def _ops(scale: Scale) -> (int, int):
+    if scale is Scale.SMOKE:
+        return 25000, 8000
+    return 150000, 30000
+
+
+def _run_backend(workload: str, backend_factory, nops: int, warmup: int):
+    system = FullSystem(backend_factory(), name=workload)
+    return system.run(spec_trace(workload, nops + warmup),
+                      warmup_ops=warmup)
+
+
+def run(scale: Scale = Scale.SMOKE,
+        workloads: Optional[List[str]] = None) -> ExperimentResult:
+    """All four panels in one result table (one row per workload)."""
+    workloads = workloads or DEFAULT_WORKLOADS
+    nops, warmup = _ops(scale)
+    by_name = {row.name: row for row in SPEC_REFERENCE}
+
+    result = ExperimentResult(
+        "fig11", "SPEC validation: simulation vs server",
+        columns=["workload", "sim IPC", "srv IPC", "sim miss", "srv miss",
+                 "vans spdup", "pcm spdup", "srv spdup"],
+    )
+
+    acc_ipc: List[float] = []
+    acc_miss: List[float] = []
+    acc_vans: List[float] = []
+    acc_pcm: List[float] = []
+
+    for name in workloads:
+        ref = by_name[name]
+        dram = _run_backend(name, lambda: ramulator_ddr4(frontend_ps=30_000),
+                            nops, warmup)
+        vans = _run_backend(
+            name, lambda: VansSystem(VansConfig().with_dimms(6)), nops, warmup)
+        pcm = _run_backend(name, lambda: ramulator_pcm(frontend_ps=30_000),
+                           nops, warmup)
+
+        vans_speedup = dram.elapsed_ps / vans.elapsed_ps
+        pcm_speedup = dram.elapsed_ps / pcm.elapsed_ps
+
+        result.add_row(name, dram.ipc, ref.dram_ipc, dram.llc_miss_rate,
+                       ref.llc_miss_rate, vans_speedup, pcm_speedup,
+                       ref.nvram_speedup)
+        acc_ipc.append(max(0.0, 1 - abs(dram.ipc - ref.dram_ipc) / ref.dram_ipc))
+        acc_miss.append(max(0.0, 1 - abs(dram.llc_miss_rate - ref.llc_miss_rate)
+                            / ref.llc_miss_rate))
+        acc_vans.append(max(0.0, 1 - abs(vans_speedup - ref.nvram_speedup)
+                            / ref.nvram_speedup))
+        acc_pcm.append(max(0.0, 1 - abs(pcm_speedup - ref.nvram_speedup)
+                           / ref.nvram_speedup))
+
+    result.metrics["ipc_accuracy_geomean"] = geomean(acc_ipc)
+    result.metrics["llc_miss_accuracy_geomean"] = geomean(acc_miss)
+    result.metrics["vans_speedup_accuracy_geomean"] = geomean(acc_vans)
+    result.metrics["ramulator_speedup_accuracy_geomean"] = geomean(acc_pcm)
+    result.notes = ("paper: VANS 87.1% vs Ramulator-PCM 65.6% geomean "
+                    "speedup accuracy; IPC 61.2%, LLC miss 85.5%")
+    return result

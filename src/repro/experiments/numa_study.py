@@ -1,0 +1,75 @@
+"""Remote-NUMA access study (Section VI discussion).
+
+Several works the paper cites ([41], [59], [65]) report that Optane
+behind a remote NUMA hop degrades disproportionately, especially for
+mixed reads/writes.  This experiment measures local vs remote
+pointer-chasing latency and a mixed read/write stream on the NUMA
+wrapper, against DRAM for contrast.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.slow_dram import ramulator_ddr4
+from repro.common.rng import make_rng
+from repro.common.units import GIB, MIB, NS
+from repro.experiments.common import ExperimentResult, Scale
+from repro.vans import VansSystem
+from repro.vans.numa import NumaSystem
+
+NODE = 1 * GIB
+
+
+def _chase(numa: NumaSystem, base: int, nops: int, seed: int) -> float:
+    rng = make_rng(seed, f"numa-{base}")
+    lines = (64 * MIB) // 64
+    now = 0
+    for _ in range(nops):
+        now = numa.read(base + rng.randrange(lines) * 64, now)
+    return now / nops / NS
+
+
+def _mixed(numa: NumaSystem, base: int, nops: int, seed: int) -> float:
+    rng = make_rng(seed, f"numamix-{base}")
+    lines = (64 * MIB) // 64
+    now = 0
+    for i in range(nops):
+        addr = base + rng.randrange(lines) * 64
+        now = numa.write(addr, now) if i % 2 else numa.read(addr, now)
+    now = numa.fence(now)
+    return now / nops / NS
+
+
+def run(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    nops = 800 if scale is Scale.SMOKE else 4000
+    result = ExperimentResult(
+        "numa", "local vs remote access latency (ns per op)",
+        columns=["memory", "pattern", "local", "remote", "penalty"],
+    )
+
+    def rows(name, factory, seed):
+        numa = NumaSystem(factory(), factory(), node_bytes=NODE)
+        local = _chase(numa, 0, nops, seed)
+        numa = NumaSystem(factory(), factory(), node_bytes=NODE)
+        remote = _chase(numa, NODE, nops, seed)
+        result.add_row(name, "chase", local, remote, remote / local)
+        numa = NumaSystem(factory(), factory(), node_bytes=NODE)
+        local_m = _mixed(numa, 0, nops, seed)
+        numa = NumaSystem(factory(), factory(), node_bytes=NODE)
+        remote_m = _mixed(numa, NODE, nops, seed)
+        result.add_row(name, "mixed r/w", local_m, remote_m,
+                       remote_m / local_m)
+        return remote / local, remote_m / local_m
+
+    nv_chase, nv_mixed = rows("nvram", VansSystem, 41)
+    dr_chase, _ = rows("dram", lambda: ramulator_ddr4(frontend_ps=30_000), 42)
+
+    nv_local = result.rows[0][2]
+    nv_remote = result.rows[0][3]
+    result.metrics["nvram_remote_penalty"] = nv_chase
+    result.metrics["nvram_added_ns"] = nv_remote - nv_local
+    result.metrics["dram_remote_penalty"] = dr_chase
+    result.notes = ("the remote hop adds ~2x interconnect latency on top "
+                    "of an already long NVRAM path (the cited HPC "
+                    "observations); relative penalty is larger on DRAM "
+                    "only because its base latency is small")
+    return result

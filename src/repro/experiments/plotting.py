@@ -1,0 +1,88 @@
+"""Terminal plotting for experiment series.
+
+Dependency-free ASCII charts so the runner can show the curve *shapes*
+(the thing this reproduction validates) directly in the terminal:
+
+* :func:`line_plot` — multi-series plot with a log-ish x-axis label row;
+* :func:`bar_chart` — horizontal bars for categorical comparisons;
+* :func:`sparkline` — one-line trend summary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.common.units import pretty_size
+from repro.engine.stats import LatencySeries
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-character-per-point trend line."""
+    vals = list(values)
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK[0] * len(vals)
+    span = hi - lo
+    return "".join(_SPARK[int((v - lo) / span * (len(_SPARK) - 1))]
+                   for v in vals)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 40, unit: str = "") -> str:
+    """Horizontal bar chart, one row per label."""
+    if not values:
+        return ""
+    peak = max(values) or 1.0
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(value / peak * width))
+        lines.append(f"{label:<{label_w}}  {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def line_plot(series: Dict[str, LatencySeries], height: int = 12,
+              x_is_bytes: bool = True) -> str:
+    """Plot one or more (x, y) series on a shared character grid.
+
+    Points are placed by *index* on the x axis (experiment sweeps are
+    log-spaced, so index spacing is visually correct) and scaled y.
+    """
+    if not series:
+        return ""
+    first = next(iter(series.values()))
+    npoints = max(len(s) for s in series.values())
+    if npoints < 2:
+        return ""
+    all_values = [v for s in series.values() for v in s.values]
+    lo, hi = min(all_values), max(all_values)
+    span = (hi - lo) or 1.0
+    width = npoints
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*+ox@%"
+
+    for si, (name, s) in enumerate(series.items()):
+        mark = markers[si % len(markers)]
+        for i, value in enumerate(s.values):
+            row = height - 1 - int((value - lo) / span * (height - 1))
+            grid[row][i] = mark
+
+    lines = []
+    for r, row in enumerate(grid):
+        y_val = hi - (r / (height - 1)) * span
+        lines.append(f"{y_val:8.0f} |" + "".join(row))
+    # x labels: first, middle, last
+    xs = first.xs
+    fmt = (lambda x: pretty_size(int(x))) if x_is_bytes else str
+    lo_x, mid_x, hi_x = fmt(xs[0]), fmt(xs[len(xs) // 2]), fmt(xs[-1])
+    axis = " " * 9 + "+" + "-" * (width - 1)
+    label_row = (" " * 10 + lo_x
+                 + mid_x.rjust(max(1, width // 2 - len(lo_x)))
+                 + hi_x.rjust(max(1, width - width // 2 - len(mid_x))))
+    legend = "  ".join(f"{markers[i % len(markers)]}={name}"
+                       for i, name in enumerate(series))
+    return "\n".join(lines + [axis, label_row, "legend: " + legend])

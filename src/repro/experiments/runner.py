@@ -1,0 +1,93 @@
+"""Run every reproduced table/figure and render the results.
+
+``python -m repro.experiments.runner [--paper] [ids...]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments import ablation, bandwidth_matrix, characterize
+from repro.experiments import energy_study, fig01, fig03, fig05, fig06
+from repro.experiments import fig07, fig09, fig10, fig11, fig12, fig13
+from repro.experiments import numa_study, scaling, tables
+from repro.experiments.common import ExperimentResult, Scale
+
+#: experiment id -> callable returning one result or a tuple of results
+REGISTRY: Dict[str, Callable] = {
+    "fig1": fig01.run,
+    "fig3": fig03.run,
+    "fig5": fig05.run,
+    "fig6": fig06.run,
+    "fig7": fig07.run,
+    "fig8": characterize.run,
+    "fig9": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "tables": tables.run,
+    # beyond the paper's figures: supporting studies
+    "scaling": scaling.run,
+    "ablation": ablation.run,
+    "energy": energy_study.run,
+    "numa": numa_study.run,
+    "bandwidth": bandwidth_matrix.run,
+}
+
+
+def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE
+                   ) -> List[ExperimentResult]:
+    """Run one experiment id; returns its results as a flat list."""
+    out = REGISTRY[exp_id](scale)
+    if isinstance(out, ExperimentResult):
+        return [out]
+    return list(out)
+
+
+def run_all(scale: Scale = Scale.SMOKE, ids: List[str] = None
+            ) -> List[ExperimentResult]:
+    results: List[ExperimentResult] = []
+    for exp_id in (ids or REGISTRY):
+        results.extend(run_experiment(exp_id, scale))
+    return results
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("ids", nargs="*", choices=list(REGISTRY) + [[]],
+                        help="experiment ids (default: all)")
+    parser.add_argument("--paper", action="store_true",
+                        help="full paper-scale sweeps (slow)")
+    parser.add_argument("--plot", action="store_true",
+                        help="draw ASCII charts of each result's series")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also export all results as JSON")
+    args = parser.parse_args(argv)
+    scale = Scale.PAPER if args.paper else Scale.SMOKE
+    collected = []
+    for exp_id in (args.ids or list(REGISTRY)):
+        start = time.time()
+        for result in run_experiment(exp_id, scale):
+            collected.append(result)
+            print(result.render())
+            if args.plot and result.series:
+                from repro.experiments.plotting import line_plot
+                plot = line_plot(result.series)
+                if plot:
+                    print()
+                    print(plot)
+            print()
+        print(f"[{exp_id} done in {time.time() - start:.1f}s]\n")
+    if args.json:
+        from repro.experiments.export import save_json
+        count = save_json(collected, args.json)
+        print(f"[exported {count} results to {args.json}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Tables I, II, III/V and IV.
+
+Tables I/II are static (capability matrix and prober overview); Table
+III/V reports the simulated configuration; Table IV verifies the SPEC
+workload generators against their target MPKI/footprints.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.slow_dram import ramulator_ddr4
+from repro.common.units import GIB, pretty_size
+from repro.cpu import FullSystem
+from repro.experiments.common import ExperimentResult, Scale
+from repro.lens.report import TABLE_I, TABLE_II
+from repro.vans import VansConfig
+from repro.workloads import SPEC_WORKLOADS, spec_trace
+
+
+def run_table1(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    result = ExperimentResult(
+        "tab1", "profiling-tool capability matrix",
+        columns=["tool"] + TABLE_I["columns"],
+    )
+    for tool, caps in TABLE_I["rows"].items():
+        result.add_row(tool, *caps)
+    return result
+
+
+def run_table2(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    result = ExperimentResult(
+        "tab2", "LENS probers and microbenchmarks",
+        columns=["prober", "microbenchmark", "hardware behavior",
+                 "microarchitecture"],
+    )
+    for row in TABLE_II:
+        result.add_row(*row)
+    return result
+
+
+def run_table5(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Table V: the simulated system configuration."""
+    cfg = VansConfig().with_dimms(6)
+    desc = cfg.describe()
+    result = ExperimentResult(
+        "tab5", "simulated NVRAM system configuration",
+        columns=["parameter", "value"],
+    )
+    for key, value in desc.items():
+        if key.endswith("bytes"):
+            value = pretty_size(value)
+        result.add_row(key, value)
+    result.add_row("lsq", f"{cfg.dimm.lsq.entries} x {cfg.dimm.lsq.entry_bytes}B")
+    result.add_row("rmw", f"{cfg.dimm.rmw.entries} x {cfg.dimm.rmw.entry_bytes}B")
+    result.add_row("ait", f"{cfg.dimm.ait.entries} x {pretty_size(cfg.dimm.ait.entry_bytes)}")
+    result.add_row("on-dimm dram", f"{pretty_size(cfg.dimm.dram_capacity_bytes)} "
+                                   f"{cfg.dimm.dram_timing.name}")
+    return result
+
+
+def run_table4(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Table IV: measured generator MPKI vs the paper's values."""
+    nops = 20000 if scale is Scale.SMOKE else 80000
+    warmup = nops // 3
+    result = ExperimentResult(
+        "tab4", "SPEC workloads: generator calibration",
+        columns=["workload", "suite", "target mpki", "measured mpki",
+                 "footprint"],
+    )
+    worst = 0.0
+    for wl in SPEC_WORKLOADS:
+        system = FullSystem(ramulator_ddr4(frontend_ps=30_000), name=wl.name)
+        report = system.run(spec_trace(wl.name, nops + warmup),
+                            warmup_ops=warmup)
+        result.add_row(wl.name, wl.suite, wl.llc_mpki, report.llc_mpki,
+                       f"{wl.footprint_bytes / GIB:.2f}GB")
+        if wl.llc_mpki:
+            worst = max(worst, abs(report.llc_mpki - wl.llc_mpki) / wl.llc_mpki)
+    result.metrics["worst_relative_mpki_error"] = worst
+    return result
+
+
+def run(scale: Scale = Scale.SMOKE):
+    return (run_table1(scale), run_table2(scale), run_table4(scale),
+            run_table5(scale))

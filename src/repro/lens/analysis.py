@@ -1,0 +1,184 @@
+"""Curve analysis used by the LENS probers.
+
+Pure functions over (x, y) series: inflection-point detection (buffer
+capacities), amplification scores and their knees (entry sizes),
+tail-event statistics (migration parameters), and periodicity detection
+(interleaving granularity).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.engine.stats import LatencySeries
+
+
+def find_inflections(series: LatencySeries, min_ratio: float = 1.18
+                     ) -> List[int]:
+    """Buffer capacities from a latency-vs-region curve.
+
+    A buffer overflow shows as a sharp latency rise once the region
+    exceeds the capacity; with a doubling sweep, the capacity is the last
+    x before such a rise.  We take every *local maximum* of the
+    consecutive-point ratio that exceeds ``min_ratio`` — local maxima
+    separate distinct overflow events even when the tiers blend.
+    """
+    xs = series.xs
+    ys = series.values
+    if len(xs) < 2:
+        return []
+    ratios = []
+    for i in range(len(ys) - 1):
+        prev = ys[i] if ys[i] > 0 else 1e-9
+        ratios.append(ys[i + 1] / prev)
+    capacities = []
+    for i, ratio in enumerate(ratios):
+        if ratio < min_ratio:
+            continue
+        left = ratios[i - 1] if i > 0 else 0.0
+        right = ratios[i + 1] if i + 1 < len(ratios) else 0.0
+        if ratio >= left and ratio >= right:
+            capacities.append(int(xs[i]))
+    return capacities
+
+
+def amplification_scores(overflow: LatencySeries, fit: LatencySeries
+                         ) -> LatencySeries:
+    """Amplification score per PC-Block size (Section III-A).
+
+    Score = latency in the buffer-overflow case / latency in the fit
+    case, at the same block size.  The score reaches its floor exactly
+    when the block size reaches the buffer's entry size (no more wasted
+    fill bytes).
+    """
+    fit_by_x = dict(fit.points)
+    series = LatencySeries("amplification-score")
+    for x, y_over in overflow:
+        y_fit = fit_by_x.get(x)
+        if y_fit and y_fit > 0:
+            series.add(x, y_over / y_fit)
+    return series
+
+
+def score_knee(scores: LatencySeries, tolerance: float = 0.06) -> int:
+    """Entry size = the first block size where the score stops dropping.
+
+    Scanning the (doubling) block sizes, the knee is the first x whose
+    score is within ``tolerance`` of the final floor value.
+    """
+    if not len(scores):
+        return 0
+    values = scores.values
+    floor = min(values)
+    for x, score in scores:
+        if score <= floor * (1.0 + tolerance):
+            return int(x)
+    return int(scores.xs[-1])
+
+
+def excess_knee(overflow: LatencySeries, fit: LatencySeries,
+                floor_factor: float = 2.2) -> int:
+    """Entry size from *excess latency* (overflow minus fit).
+
+    The amplification's latency contribution is the excess of the
+    overflow curve over the fit curve; it shrinks as the PC-Block
+    amortizes each fill over more lines and bottoms out exactly when the
+    block reaches the entry size.  The knee is the first block size whose
+    excess falls within ``floor_factor`` of the floor — more robust than
+    ratio thresholds when the two buffer levels have different
+    hit/miss latency contrasts.
+    """
+    fit_by_x = dict(fit.points)
+    excess = [(x, y - fit_by_x.get(x, 0.0)) for x, y in overflow
+              if x in fit_by_x]
+    if not excess:
+        return 0
+    floor = max(1e-9, min(e for _, e in excess))
+    for x, e in excess:
+        if e <= floor * floor_factor:
+            return int(x)
+    return int(excess[-1][0])
+
+
+def detect_drop(series: LatencySeries, drop_factor: float = 0.5) -> int:
+    """First x whose value drops below ``drop_factor`` x the running
+    maximum — used for the migration-granularity probe (Fig. 7c).
+
+    Returns the x *before* the drop (the largest region that still
+    concentrates enough writes to trigger migrations), or 0.
+    """
+    running_max = 0.0
+    prev_x = 0
+    for x, y in series:
+        if running_max > 0 and y < running_max * drop_factor:
+            return int(prev_x)
+        running_max = max(running_max, y)
+        prev_x = x
+    return 0
+
+
+def detect_period(series: LatencySeries, min_strength: float = 0.25
+                  ) -> int:
+    """Dominant period of a sampled curve via normalized autocorrelation
+    of the first differences (interleaving-granularity probe, Fig. 7a).
+
+    ``series`` must be uniformly sampled in x; returns the period in x
+    units (0 when no periodicity clears ``min_strength``).
+    """
+    ys = series.values
+    xs = series.xs
+    n = len(ys)
+    if n < 8:
+        return 0
+    diffs = [ys[i + 1] - ys[i] for i in range(n - 1)]
+    mean = sum(diffs) / len(diffs)
+    centered = [d - mean for d in diffs]
+    denom = sum(c * c for c in centered)
+    if denom <= 0:
+        return 0
+    best_lag, best_score = 0, min_strength
+    for lag in range(2, len(centered) // 2):
+        num = sum(centered[i] * centered[i + lag]
+                  for i in range(len(centered) - lag))
+        score = num / denom
+        if score > best_score:
+            best_score = score
+            best_lag = lag
+    if best_lag == 0:
+        return 0
+    step = xs[1] - xs[0]
+    return int(best_lag * step)
+
+
+def mean_tail_gap(tail_indices: Sequence[int]) -> float:
+    """Mean distance between consecutive tail events."""
+    if len(tail_indices) < 2:
+        return 0.0
+    gaps = [b - a for a, b in zip(tail_indices, tail_indices[1:])]
+    return sum(gaps) / len(gaps)
+
+
+def accuracy(simulated: Sequence[float], reference: Sequence[float]
+             ) -> float:
+    """The paper's accuracy metric: arithmetic mean over points of
+    ``1 - |sim - ref| / ref`` (floored at 0)."""
+    pairs: List[Tuple[float, float]] = [
+        (s, r) for s, r in zip(simulated, reference) if r
+    ]
+    if not pairs:
+        return 0.0
+    total = 0.0
+    for sim, ref in pairs:
+        total += max(0.0, 1.0 - abs(sim - ref) / abs(ref))
+    return total / len(pairs)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (used by the Figure 11 accuracy summaries)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

@@ -1,0 +1,106 @@
+"""Overwrite microbenchmark (Section III-A).
+
+Repeatedly writes the same memory region and measures the latency of
+each persisted 256B write (nt-stores followed by a drain fence, the
+standard persistent-memory write idiom).  Variants:
+
+1. per-256B-write latency at a fixed region (tail-latency / migration
+   probe, Fig. 7b);
+2. long-tail frequency across region sizes at a constant total write
+   volume (migration-granularity probe, Fig. 7c) — the tail ratio is per
+   written 256B unit, so points are comparable across region sizes.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.units import NS
+from repro.engine.request import CACHE_LINE
+from repro.engine.stats import LatencySeries
+from repro.target import TargetSystem
+
+CHUNK = 256  # one persisted write unit
+
+
+@dataclass
+class OverwriteResult:
+    """Per-256B-write execution times of an overwrite run."""
+
+    region_bytes: int
+    iteration_ns: List[float]  # one entry per persisted 256B write
+
+    @property
+    def median_ns(self) -> float:
+        return statistics.median(self.iteration_ns)
+
+    def tail_indices(self, threshold: float = 10.0) -> List[int]:
+        """Writes whose latency exceeds ``threshold`` x median."""
+        limit = self.median_ns * threshold
+        return [i for i, t in enumerate(self.iteration_ns) if t > limit]
+
+    def tail_ratio_permille(self, threshold: float = 10.0) -> float:
+        """Long-tail writes per thousand."""
+        if not self.iteration_ns:
+            return 0.0
+        return 1000.0 * len(self.tail_indices(threshold)) / len(self.iteration_ns)
+
+    def tail_magnitude_ns(self, threshold: float = 10.0) -> float:
+        """Mean latency of the tail writes (0 if none)."""
+        tails = self.tail_indices(threshold)
+        if not tails:
+            return 0.0
+        return sum(self.iteration_ns[i] for i in tails) / len(tails)
+
+    def tail_interval(self, threshold: float = 10.0) -> float:
+        """Mean gap (in writes) between consecutive tails (0 if < 2)."""
+        tails = self.tail_indices(threshold)
+        if len(tails) < 2:
+            return 0.0
+        gaps = [b - a for a, b in zip(tails, tails[1:])]
+        return sum(gaps) / len(gaps)
+
+
+class Overwrite:
+    """Driver for the overwrite variants."""
+
+    def run(self, target: TargetSystem, region_bytes: int = CHUNK,
+            iterations: int = 20000, now: int = 0) -> OverwriteResult:
+        """Overwrite ``region_bytes`` ``iterations`` times.
+
+        Each iteration walks the region in 256B units; every unit is four
+        nt-stores followed by a drain fence, and its latency is the full
+        store-to-persistence time — which is where a wear-leveling
+        migration stall becomes visible.
+        """
+        region_bytes = max(region_bytes, CHUNK)
+        chunks = [c * CHUNK for c in range(region_bytes // CHUNK)]
+        times: List[float] = []
+        for _ in range(iterations):
+            for base in chunks:
+                start = now
+                for line in range(base, base + CHUNK, CACHE_LINE):
+                    now = target.write(line, now)
+                now = target.fence(now)
+                times.append((now - start) / NS)
+        return OverwriteResult(region_bytes, times)
+
+    def tail_scan(self, target_factory, regions: Sequence[int],
+                  total_bytes: int = 8 * 1024 * 1024,
+                  threshold: float = 10.0) -> LatencySeries:
+        """Variant 2: long-tail frequency vs region size (Fig. 7c).
+
+        Each test writes the same total volume so the x-axis varies only
+        the spread of the writes; ``target_factory`` builds a fresh
+        system per point.
+        """
+        series = LatencySeries("tail-ratio-permille")
+        for region in regions:
+            region = max(region, CHUNK)
+            iterations = max(1, total_bytes // region)
+            target = target_factory()
+            result = self.run(target, region, iterations)
+            series.add(region, result.tail_ratio_permille(threshold))
+        return series

@@ -1,0 +1,173 @@
+"""Pointer-chasing microbenchmark (Section III-A).
+
+Divides a contiguous PC-Region into equal PC-Blocks, visits the blocks in
+a random order, and accesses the cache lines within each block
+sequentially.  Reads form a true dependency chain (the next block address
+is stored in the current one), so read requests are serialized; writes
+issue as fast as the memory system accepts them.  All accesses are
+non-temporal 64B operations, as in the kernel-module implementation.
+
+Variants (Table II):
+
+1. latency per cache line with a fixed PC-Block across PC-Region sizes
+   (buffer-capacity probe);
+2. latency across PC-Block sizes at a fixed PC-Region (read/write
+   amplification probe);
+3. read-after-write: write the region in pointer order, fence, then read
+   it in the same order (buffer-hierarchy / data-fast-forward probe).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.rng import make_rng
+from repro.common.units import NS
+from repro.engine.request import CACHE_LINE
+from repro.engine.stats import LatencySeries
+from repro.target import TargetSystem
+
+
+class PointerChasing:
+    """Driver for the three pointer-chasing variants."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        max_lines_per_point: int = 2000,
+        min_passes: int = 1,
+        warm: bool = True,
+    ) -> None:
+        self.seed = seed
+        self.max_lines_per_point = max_lines_per_point
+        self.min_passes = min_passes
+        self.warm = warm
+
+    # -- access-order construction --------------------------------------
+
+    def _block_order(self, region: int, block: int, stream: str) -> List[int]:
+        """Random visit order of PC-Block base addresses, sampled down to
+        the measurement budget for very large regions."""
+        rng = make_rng(self.seed, stream)
+        nblocks = max(1, region // block)
+        budget_blocks = max(1, self.max_lines_per_point // max(1, block // CACHE_LINE))
+        if nblocks <= budget_blocks:
+            order = list(range(nblocks))
+            rng.shuffle(order)
+        else:
+            order = rng.sample(range(nblocks), budget_blocks)
+        return [b * block for b in order]
+
+    def _lines_of(self, block_base: int, block: int) -> range:
+        return range(block_base, block_base + block, CACHE_LINE)
+
+    # -- variant 1: latency vs region size ------------------------------
+
+    def read_latency_ns(self, target: TargetSystem, region: int,
+                        block: int = CACHE_LINE, now: int = 0) -> float:
+        """Average dependent-read latency per cache line (ns)."""
+        if self.warm:
+            target.warm_fill(0, region)
+        total = 0
+        count = 0
+        for _pass in range(self.min_passes):
+            order = self._block_order(region, block, f"rd-{region}-{block}-{_pass}")
+            for base in order:
+                for line in self._lines_of(base, block):
+                    done = target.read(line, now)
+                    total += done - now
+                    now = done
+                    count += 1
+        return total / count / NS
+
+    def write_latency_ns(self, target: TargetSystem, region: int,
+                         block: int = CACHE_LINE, now: int = 0,
+                         budget_lines: int = 1500) -> float:
+        """Average nt-store accept latency per cache line (ns).
+
+        Issues full passes over the region (sampled for huge regions),
+        with a fence between passes whose drain time is excluded from the
+        per-line average — the fence only resets queue state, matching
+        the paper's per-iteration measurement loop.
+        """
+        total = 0
+        count = 0
+        npass = 0
+        while count < budget_lines:
+            order = self._block_order(region, block, f"wr-{region}-{block}-{npass}")
+            for base in order:
+                for line in self._lines_of(base, block):
+                    accept = target.write(line, now)
+                    total += accept - now
+                    now = accept
+                    count += 1
+            now = target.fence(now)
+            npass += 1
+        return total / count / NS
+
+    def latency_sweep(self, target_factory, regions: Sequence[int],
+                      block: int = CACHE_LINE, op: str = "read") -> LatencySeries:
+        """Latency-per-CL curve across PC-Region sizes (Fig. 5a/5b).
+
+        ``target_factory`` builds a fresh system per sweep point so queue
+        and buffer state cannot leak between region sizes (each point
+        models an independent measurement run).
+        """
+        series = LatencySeries(f"{op}-lat-{block}B-block")
+        for region in regions:
+            target = target_factory()
+            if op == "read":
+                lat = self.read_latency_ns(target, region, block)
+            else:
+                lat = self.write_latency_ns(target, region, block)
+            series.add(region, lat)
+        return series
+
+    # -- variant 2: amplification (block-size sweep) ---------------------
+
+    def block_sweep(self, target_factory, region: int,
+                    blocks: Sequence[int], op: str = "read") -> LatencySeries:
+        """Latency per CL across PC-Block sizes at a fixed region (fresh
+        system per point)."""
+        series = LatencySeries(f"{op}-lat-region-{region}")
+        for block in blocks:
+            target = target_factory()
+            if op == "read":
+                lat = self.read_latency_ns(target, region, block)
+            else:
+                lat = self.write_latency_ns(target, region, block)
+            series.add(block, lat)
+        return series
+
+    # -- variant 3: read-after-write -------------------------------------
+
+    def read_after_write_ns(self, target: TargetSystem, region: int,
+                            now: int = 0) -> float:
+        """Roundtrip RaW latency per cache line (Fig. 5c).
+
+        Writes every line of the region in pointer order, fences (the
+        store data must be observable), then reads the lines back in the
+        same order.  The fence is part of the measured roundtrip — that
+        is precisely why small regions show RaW >> R+W.
+        """
+        order = self._block_order(region, CACHE_LINE, f"raw-{region}")
+        start = now
+        for line in order:
+            now = target.write(line, now)
+        now = target.fence(now)
+        for line in order:
+            now = target.read(line, now)
+        return (now - start) / len(order) / NS
+
+    def raw_sweep(self, target_factory, regions: Sequence[int]
+                  ) -> Tuple[LatencySeries, LatencySeries]:
+        """(RaW, R+W) curves; ``target_factory`` builds a fresh system per
+        point so queue state never leaks between region sizes."""
+        raw = LatencySeries("raw")
+        rpw = LatencySeries("r-plus-w")
+        for region in regions:
+            raw.add(region, self.read_after_write_ns(target_factory(), region))
+            r = self.read_latency_ns(target_factory(), region)
+            w = self.write_latency_ns(target_factory(), region)
+            rpw.add(region, r + w)
+        return raw, rpw

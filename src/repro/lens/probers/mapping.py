@@ -1,0 +1,71 @@
+"""Address-mapping prober (the Table I "Addr mapping" capability).
+
+DRAMA [43] recovers DRAM address functions from timing; LENS extends
+the idea to NVRAM systems.  The probe here recovers the *DIMM-select*
+function of an interleaved memory: for each address bit k, it issues
+pairs of concurrent write bursts to addresses differing only in bit k.
+If the pair maps to the same DIMM the bursts serialize on that DIMM's
+queues; if bit k selects different DIMMs they proceed in parallel and
+the pair completes markedly faster.  The lowest bit showing parallelism
+is the interleave boundary: granularity = 2^k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.engine.request import CACHE_LINE
+from repro.target import TargetSystem
+
+
+@dataclass
+class MappingReport:
+    """Per-bit parallelism speedups and the inferred interleave bits."""
+
+    #: bit index -> pair speedup (same-DIMM time / differing-bit time)
+    bit_speedup: Dict[int, float] = field(default_factory=dict)
+    #: bits that select the DIMM (speedup above threshold)
+    dimm_select_bits: List[int] = field(default_factory=list)
+
+    @property
+    def interleave_granularity(self) -> int:
+        """2^(lowest DIMM-select bit), or 0 when none found."""
+        if not self.dimm_select_bits:
+            return 0
+        return 1 << min(self.dimm_select_bits)
+
+
+class MappingProber:
+    """Recover the DIMM-select address bits from write-pair timing."""
+
+    def __init__(self, target_factory: Callable[[], TargetSystem],
+                 min_bit: int = 8, max_bit: int = 20,
+                 burst_lines: int = 24, threshold: float = 1.2) -> None:
+        self.target_factory = target_factory
+        self.min_bit = min_bit
+        self.max_bit = max_bit
+        self.burst_lines = burst_lines
+        self.threshold = threshold
+
+    def _pair_time(self, addr_a: int, addr_b: int) -> int:
+        """Time to interleave two write bursts at the two addresses,
+        fence-drained (the drain exposes whose queues absorbed them)."""
+        target = self.target_factory()
+        now = 0
+        for i in range(self.burst_lines):
+            now = target.write(addr_a + i * CACHE_LINE, now)
+            now = target.write(addr_b + i * CACHE_LINE, now)
+        return target.fence(now)
+
+    def run(self) -> MappingReport:
+        report = MappingReport()
+        base = 0
+        same = self._pair_time(base, base + self.burst_lines * CACHE_LINE)
+        for bit in range(self.min_bit, self.max_bit + 1):
+            differing = self._pair_time(base, base | (1 << bit))
+            speedup = same / differing if differing else 0.0
+            report.bit_speedup[bit] = speedup
+            if speedup >= self.threshold:
+                report.dimm_select_bits.append(bit)
+        return report

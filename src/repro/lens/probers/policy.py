@@ -1,0 +1,115 @@
+"""Policy prober (Section III-A/III-D): wear-leveling data migration and
+multi-DIMM interleaving.
+
+* Migration latency/frequency — overwrite a 256B region; a migration
+  stalls subsequent writes, showing as a >10x tail.  The tail magnitude
+  estimates the migration latency; the mean gap between tails is the
+  migration frequency.
+* Migration granularity — repeat at growing region sizes with constant
+  total volume; the tail frequency collapses once the region spans more
+  than one wear-leveling block (64KB).
+* Interleaving — compare sequential-write execution times on interleaved
+  vs non-interleaved systems, and recover the interleave granularity from
+  the periodic pattern in the interleaved curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.common.units import KIB, US
+from repro.engine.stats import LatencySeries
+from repro.lens.analysis import detect_drop, detect_period, mean_tail_gap
+from repro.lens.microbench.overwrite import Overwrite, OverwriteResult
+from repro.lens.microbench.stride import Stride
+from repro.target import TargetSystem
+
+DEFAULT_TAIL_REGIONS = [256, 1 * KIB, 4 * KIB, 16 * KIB, 64 * KIB,
+                        128 * KIB, 256 * KIB, 512 * KIB]
+
+
+@dataclass
+class PolicyReport:
+    """Wear-leveling and interleaving findings."""
+
+    migration_latency_us: float = 0.0
+    migration_interval_iters: float = 0.0
+    migration_granularity: int = 0
+    interleave_granularity: int = 0
+    interleave_speedup: float = 0.0
+    overwrite_result: Optional[OverwriteResult] = None
+    tail_scan: Optional[LatencySeries] = None
+    seq_interleaved: Optional[LatencySeries] = None
+    seq_single: Optional[LatencySeries] = None
+
+
+class PolicyProber:
+    """Runs overwrite/stride variants and infers control policies."""
+
+    def __init__(
+        self,
+        target_factory: Callable[[], TargetSystem],
+        interleaved_factory: Optional[Callable[[], TargetSystem]] = None,
+        tail_regions: Sequence[int] = tuple(DEFAULT_TAIL_REGIONS),
+        overwrite_iterations: int = 40000,
+        tail_scan_bytes: int = 6 * 1024 * 1024,
+    ) -> None:
+        self.target_factory = target_factory
+        self.interleaved_factory = interleaved_factory
+        self.tail_regions = list(tail_regions)
+        self.overwrite_iterations = overwrite_iterations
+        self.tail_scan_bytes = tail_scan_bytes
+        self.overwrite = Overwrite()
+        self.stride = Stride()
+
+    def probe_migration(self) -> OverwriteResult:
+        """Fig. 7b: per-iteration 256B overwrite times."""
+        target = self.target_factory()
+        return self.overwrite.run(target, region_bytes=256,
+                                  iterations=self.overwrite_iterations)
+
+    def probe_migration_granularity(self) -> LatencySeries:
+        """Fig. 7c: tail frequency vs overwrite region size."""
+        return self.overwrite.tail_scan(
+            self.target_factory, self.tail_regions,
+            total_bytes=self.tail_scan_bytes,
+        )
+
+    def probe_interleaving(self, sizes: Optional[Sequence[int]] = None):
+        """Fig. 7a: sequential-write times, interleaved vs single DIMM.
+
+        ``sizes`` must be uniformly spaced for period detection; defaults
+        to 512B steps up to 16KB.
+        """
+        if self.interleaved_factory is None:
+            return None, None
+        sizes = list(sizes or range(512, 16 * KIB + 1, 512))
+        single = self.stride.sequential_write_times_us(self.target_factory, sizes)
+        inter = self.stride.sequential_write_times_us(self.interleaved_factory,
+                                                      sizes)
+        return single, inter
+
+    def run(self) -> PolicyReport:
+        report = PolicyReport()
+
+        result = self.probe_migration()
+        report.overwrite_result = result
+        tails = result.tail_indices()
+        if tails:
+            report.migration_latency_us = result.tail_magnitude_ns() / 1000.0
+            report.migration_interval_iters = mean_tail_gap(tails) or float(tails[0])
+
+        report.tail_scan = self.probe_migration_granularity()
+        report.migration_granularity = detect_drop(report.tail_scan)
+
+        single, inter = self.probe_interleaving()
+        if single is not None and inter is not None:
+            report.seq_single = single
+            report.seq_interleaved = inter
+            report.interleave_granularity = detect_period(inter)
+            total_single = single.values[-1]
+            total_inter = inter.values[-1]
+            if total_inter > 0:
+                report.interleave_speedup = total_single / total_inter
+        return report

@@ -1,0 +1,12 @@
+"""3D-XPoint NVRAM media model.
+
+Models the persistent media behind the Optane DIMM's buffers: 256B access
+granularity, asymmetric read/write timing, banked parallelism, and a
+wear-leveling engine that migrates 64KB blocks and produces the >100x
+write tail latencies the paper measures (Figure 7b-c).
+"""
+
+from repro.media.xpoint import XPointConfig, XPointMedia
+from repro.media.wear import WearLeveler, WearConfig
+
+__all__ = ["XPointConfig", "XPointMedia", "WearLeveler", "WearConfig"]

@@ -1,0 +1,20 @@
+"""Architectural optimizations evaluated with VANS (Section V).
+
+* :class:`~repro.optim.pretranslation.PreTranslation` — in-memory
+  Pre-translation: a table in the on-DIMM DRAM (hanging off AIT entries)
+  plus a Read Lookaside Buffer; the ``mkpt`` hint makes a chase load
+  return the TLB entry for the next node along with the data.
+* :class:`~repro.optim.lazycache.LazyCache` — a small (3KB) on-DIMM
+  cache for wear-hot write targets, updated from the AIT's wear records,
+  absorbing concentrated writes before they amplify into media traffic.
+"""
+
+from repro.optim.pretranslation import PreTranslation, PreTranslationConfig
+from repro.optim.lazycache import LazyCache, LazyCacheConfig
+
+__all__ = [
+    "PreTranslation",
+    "PreTranslationConfig",
+    "LazyCache",
+    "LazyCacheConfig",
+]

@@ -1,0 +1,119 @@
+"""In-memory Pre-translation (Section V-B).
+
+The NVRAM DIMM already performs a physical-to-media "page translation"
+in its AIT; Pre-translation adds, per AIT entry, a pointer to a
+pre-translation record mapping a physical address to the page frame
+number *stored at* that address.  A load marked with ``mkpt`` that hits
+the table returns, along with its data, a ready-made TLB entry for the
+next pointer-chase hop, so the CPU receives data and the next
+translation simultaneously.
+
+Hardware pieces modeled:
+
+* **Pre-translation table** — in the on-DIMM DRAM (16MB), effectively
+  paddr -> pfn keyed by the paddr of the pointer field;
+* **RLB (Read Lookaside Buffer)** — a small SRAM cache of table entries;
+* **mkpt** — the new instruction: marks the access and updates the table
+  when the recorded pfn is missing or stale;
+* **check-before-read** — stale entries are caught by an asynchronous
+  page-walk check (the "uncertain bit"); the stale fraction wastes the
+  prefetched translation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.rng import make_rng
+from repro.common.units import KIB, MIB
+from repro.cpu.tlb import PAGE_SIZE
+from repro.engine.stats import StatsRegistry
+
+
+@dataclass(frozen=True)
+class PreTranslationConfig:
+    """Section V-D setup: 1KB RLB, 16MB table."""
+
+    rlb_bytes: int = 1 * KIB
+    rlb_entry_bytes: int = 16
+    table_bytes: int = 16 * MIB
+    table_entry_bytes: int = 8
+    #: fraction of table hits that turn out stale (page table churn)
+    stale_rate: float = 0.0
+
+    @property
+    def rlb_entries(self) -> int:
+        return self.rlb_bytes // self.rlb_entry_bytes
+
+    @property
+    def table_entries(self) -> int:
+        return self.table_bytes // self.table_entry_bytes
+
+
+class PreTranslation:
+    """Pre-translation table + RLB state machine."""
+
+    def __init__(self, config: Optional[PreTranslationConfig] = None,
+                 stats: Optional[StatsRegistry] = None, seed: int = 0) -> None:
+        self.config = config or PreTranslationConfig()
+        self.stats = stats or StatsRegistry()
+        self._table: "OrderedDict[int, int]" = OrderedDict()
+        self._rlb: "OrderedDict[int, int]" = OrderedDict()
+        self._rng = make_rng(seed, "pretrans")
+        self._c_hits = self.stats.counter("pretrans.hits")
+        self._c_misses = self.stats.counter("pretrans.misses")
+        self._c_updates = self.stats.counter("pretrans.updates")
+        self._c_stale = self.stats.counter("pretrans.stale")
+        self._c_rlb_hits = self.stats.counter("pretrans.rlb_hits")
+
+    def _pfn(self, vaddr: int) -> int:
+        return vaddr // PAGE_SIZE
+
+    def observe(self, paddr: int, next_vaddr: int) -> bool:
+        """Process one mkpt-marked load of ``paddr`` whose stored pointer
+        is ``next_vaddr``.
+
+        Returns True when the DIMM returned a usable TLB entry for the
+        next hop (table hit, not stale); on a miss, the table is updated
+        (the mkpt update path, Fig. 13c) so the next traversal hits.
+        """
+        expected_pfn = self._pfn(next_vaddr)
+        in_rlb = self._rlb.get(paddr)
+        recorded = in_rlb if in_rlb is not None else self._table.get(paddr)
+        if in_rlb is not None:
+            self._c_rlb_hits.add()
+        if recorded == expected_pfn:
+            if (self.config.stale_rate > 0
+                    and self._rng.random() < self.config.stale_rate):
+                # check-before-read caught a stale entry: the prefetched
+                # translation is discarded.
+                self._c_stale.add()
+                return False
+            self._c_hits.add()
+            self._rlb_insert(paddr, expected_pfn)
+            return True
+        # miss or out-of-date: mkpt updates the entry (step 6-8, Fig. 13c)
+        self._c_misses.add()
+        self._c_updates.add()
+        self._table_insert(paddr, expected_pfn)
+        self._rlb_insert(paddr, expected_pfn)
+        return False
+
+    def _table_insert(self, paddr: int, pfn: int) -> None:
+        self._table[paddr] = pfn
+        self._table.move_to_end(paddr)
+        if len(self._table) > self.config.table_entries:
+            self._table.popitem(last=False)
+
+    def _rlb_insert(self, paddr: int, pfn: int) -> None:
+        self._rlb[paddr] = pfn
+        self._rlb.move_to_end(paddr)
+        if len(self._rlb) > self.config.rlb_entries:
+            self._rlb.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self._c_hits.value + self._c_misses.value
+        return self._c_hits.value / total if total else 0.0

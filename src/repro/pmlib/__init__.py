@@ -1,0 +1,15 @@
+"""pmlib — tiny persistent data structures over the functional memory.
+
+App Direct mode's whole point (Section II-A) is that software can build
+crash-recoverable structures from loads/stores + clwb/fence.  This
+package provides reference implementations whose recovery invariants the
+test suite checks under exhaustive crash injection — and an intentionally
+broken variant demonstrating that the harness catches real persistence
+bugs.
+"""
+
+from repro.pmlib.log import PersistentLog, UnorderedLog, LogRecovery
+from repro.pmlib.hashmap import PersistentHashMap
+
+__all__ = ["PersistentLog", "UnorderedLog", "LogRecovery",
+           "PersistentHashMap"]

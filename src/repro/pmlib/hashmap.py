@@ -1,0 +1,108 @@
+"""Crash-consistent hash map with undo logging.
+
+The PMDK-style persistent hash map the paper's Figure 13 workloads
+model, implemented for real over :class:`FunctionalMemory`.  Updates in
+place need more than ordering: an interrupted overwrite must roll
+*back*, so each mutation first persists an undo record (address + old
+value), then mutates, then invalidates the record — the classic
+undo-log protocol (NV-Heaps/Mnemosyne lineage, the paper's refs [9] and
+[57]).
+
+Layout (64B lines):
+  base + 0:                 undo record {addr, old, valid} or None
+  base + 64 * (1+b):        bucket b's value line
+
+Recovery: if a valid undo record exists, the crash hit mid-transaction —
+roll the target line back and invalidate the record.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.request import CACHE_LINE
+from repro.vans.functional import FunctionalMemory
+
+
+class PersistentHashMap:
+    """Fixed-bucket persistent map: int keys -> values."""
+
+    def __init__(self, memory: FunctionalMemory, nbuckets: int = 64,
+                 base_addr: int = 0) -> None:
+        self.memory = memory
+        self.nbuckets = nbuckets
+        self.base = base_addr
+        self.now = 0
+        # durably clear the undo slot
+        self.now = memory.store(self._undo_addr(), None, self.now)
+        self.now = memory.fence(self.now)
+
+    def _undo_addr(self) -> int:
+        return self.base
+
+    def _bucket_addr(self, key: int) -> int:
+        return self.base + (1 + key % self.nbuckets) * CACHE_LINE
+
+    # -- mutation, decomposed into crash-injectable steps -----------------
+
+    def put_steps(self, key: int, value):
+        """Undo-log update protocol; yields after each persist point."""
+        mem = self.memory
+        addr = self._bucket_addr(key)
+        old, _ = mem.load(addr, self.now)
+
+        # 1. persist the undo record before touching the data
+        self.now = mem.store(self._undo_addr(),
+                             {"addr": addr, "old": old, "valid": True},
+                             self.now)
+        self.now = mem.fence(self.now)
+        yield "undo-persisted"
+
+        # 2. mutate in place
+        self.now = mem.store(addr, (key, value), self.now)
+        self.now = mem.fence(self.now)
+        yield "data-persisted"
+
+        # 3. invalidate the undo record (commit point)
+        self.now = mem.store(self._undo_addr(), None, self.now)
+        self.now = mem.fence(self.now)
+        yield "committed"
+
+    def put(self, key: int, value) -> None:
+        for _ in self.put_steps(key, value):
+            pass
+
+    def get(self, key: int):
+        cell, self.now = self.memory.load(self._bucket_addr(key), self.now)
+        if cell is None:
+            return None
+        stored_key, value = cell
+        return value if stored_key == key else None
+
+    # -- recovery -----------------------------------------------------------
+
+    @classmethod
+    def recover(cls, memory: FunctionalMemory, nbuckets: int = 64,
+                base_addr: int = 0) -> "PersistentHashMap":
+        """Roll back any in-flight transaction, then reopen the map."""
+        undo = memory.persisted_value(base_addr)
+        if undo is not None and undo.get("valid"):
+            # interrupted mid-update: restore the old value durably
+            now = memory.store(undo["addr"], undo["old"], 0)
+            now = memory.fence(now)
+            now = memory.store(base_addr, None, now)
+            memory.fence(now)
+        recovered = cls.__new__(cls)
+        recovered.memory = memory
+        recovered.nbuckets = nbuckets
+        recovered.base = base_addr
+        recovered.now = 0
+        return recovered
+
+    def persisted_get(self, key: int):
+        """What a post-crash reader would see for ``key``."""
+        cell = self.memory.persisted_value(self._bucket_addr(key))
+        if cell is None:
+            return None
+        stored_key, value = cell
+        return value if stored_key == key else None

@@ -1,0 +1,105 @@
+"""Crash-consistent append-only log.
+
+Layout (one 64B line each): a header holding the committed entry count,
+then one line per entry.  The append protocol is the standard
+persistent-memory idiom:
+
+1. nt-store the entry data;
+2. fence                      — entry durable before it is reachable;
+3. nt-store the new count;
+4. fence                      — commit point.
+
+Recovery reads the header and trusts exactly ``count`` entries.  The
+invariant: after a crash at *any* point, recovery sees some prefix of
+the committed appends, and every entry it sees is intact.
+
+``UnorderedLog`` omits step 2 (a classic bug): the count can persist
+while its entry is still in a write-combining buffer, so recovery can
+observe a committed-but-garbage entry — the crash-injection tests
+demonstrate the harness catches it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.engine.request import CACHE_LINE
+from repro.vans.functional import FunctionalMemory
+
+
+class LogRecovery:
+    """Result of recovering a log from persisted state."""
+
+    def __init__(self, count: int, entries: List[object]) -> None:
+        self.count = count
+        self.entries = entries
+
+    @property
+    def torn(self) -> bool:
+        """True when a committed entry is missing/garbage."""
+        return any(e is None for e in self.entries)
+
+
+class PersistentLog:
+    """Correctly ordered append-only log."""
+
+    #: fence between entry persist and count update (the correctness knob)
+    ORDERED = True
+
+    def __init__(self, memory: FunctionalMemory, base_addr: int = 0) -> None:
+        self.memory = memory
+        self.base = base_addr
+        self.now = 0
+        self._count = 0
+        # initialize the header durably
+        self.now = self.memory.store(self._header_addr(), 0, self.now)
+        self.now = self.memory.fence(self.now)
+
+    def _header_addr(self) -> int:
+        return self.base
+
+    def _entry_addr(self, index: int) -> int:
+        return self.base + (1 + index) * CACHE_LINE
+
+    # -- append, decomposed into crash-injectable steps -------------------
+
+    def append_steps(self, value):
+        """Yield after each primitive persistence operation, so tests can
+        crash between any two steps."""
+        index = self._count
+        self.now = self.memory.store(self._entry_addr(index), value, self.now)
+        yield "entry-stored"
+        if self.ORDERED:
+            self.now = self.memory.fence(self.now)
+            yield "entry-fenced"
+        self.now = self.memory.store(self._header_addr(), index + 1, self.now)
+        yield "count-stored"
+        self.now = self.memory.fence(self.now)
+        self._count = index + 1
+        yield "committed"
+
+    def append(self, value) -> None:
+        for _ in self.append_steps(value):
+            pass
+
+    @property
+    def committed(self) -> int:
+        return self._count
+
+    # -- recovery -----------------------------------------------------------
+
+    @classmethod
+    def recover(cls, memory: FunctionalMemory, base_addr: int = 0
+                ) -> LogRecovery:
+        count = memory.persisted_value(base_addr) or 0
+        entries = [
+            memory.persisted_value(base_addr + (1 + i) * CACHE_LINE)
+            for i in range(count)
+        ]
+        return LogRecovery(count, entries)
+
+
+class UnorderedLog(PersistentLog):
+    """The buggy variant: no fence between entry and count stores."""
+
+    ORDERED = False

@@ -1,0 +1,13 @@
+"""Digitized Optane DIMM measurement reference.
+
+The paper validates VANS against a physical Optane server.  Without the
+hardware, this package provides the *measured* side of every comparison:
+an empirical model of the curves the paper reports (read/write latency
+tiers with their 16KB/16MB and 512B/4KB inflections, bandwidth ordering,
+wear-leveling tails, SPEC speedups).  See DESIGN.md for the substitution
+rationale.
+"""
+
+from repro.reference.optane import OptaneReference, SPEC_REFERENCE, SpecRefRow
+
+__all__ = ["OptaneReference", "SPEC_REFERENCE", "SpecRefRow"]

@@ -1,0 +1,65 @@
+"""The ``TargetSystem`` interface LENS drives.
+
+The paper runs LENS against a physical Optane server; here LENS drives
+anything implementing this protocol: the VANS simulator, the baseline
+emulators/simulators, or the digitized Optane reference model.  All
+methods deal in absolute simulated time (integer picoseconds) so a
+harness can thread a clock through a request stream.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.engine.request import CACHE_LINE, Op, Request
+
+
+class TargetSystem(ABC):
+    """A memory system under test."""
+
+    #: short identifier used in reports
+    name: str = "target"
+
+    @abstractmethod
+    def read(self, addr: int, now: int) -> int:
+        """64B read issued at ``now``; returns the data-return time."""
+
+    @abstractmethod
+    def write(self, addr: int, now: int) -> int:
+        """64B nt-store issued at ``now``; returns its accept time
+        (persistence point for NVRAM systems)."""
+
+    def fence(self, now: int) -> int:
+        """Drain the persistence path; returns the drain-complete time.
+
+        Systems with no buffered persistence (plain DRAM models) complete
+        immediately.
+        """
+        return now
+
+    def submit(self, request: Request) -> Request:
+        """Execute one :class:`Request`, filling its timestamps."""
+        if request.op is Op.FENCE:
+            request.accept_ps = request.issue_ps
+            request.complete_ps = self.fence(request.issue_ps)
+        elif request.op.is_write:
+            request.accept_ps = self.write(request.addr, request.issue_ps)
+            request.complete_ps = request.accept_ps
+        else:
+            request.accept_ps = request.issue_ps
+            request.complete_ps = self.read(request.addr, request.issue_ps)
+        return request
+
+    def warm_fill(self, start_addr: int, length: int) -> None:
+        """Optional fast-forward warm-up of internal buffer state."""
+
+    def reset_state(self) -> None:
+        """Optional: drop all internal state between experiment phases."""
+
+    def line_span(self, start_addr: int, length: int):
+        """Iterate the 64B line addresses covering a byte range."""
+        addr = start_addr - (start_addr % CACHE_LINE)
+        end = start_addr + length
+        while addr < end:
+            yield addr
+            addr += CACHE_LINE

@@ -1,0 +1,1 @@
+"""Command-line tools: LENS characterization and trace capture/replay."""

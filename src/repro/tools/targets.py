@@ -1,0 +1,39 @@
+"""Named memory-system targets for the CLI tools."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.baselines import PMEPModel, QuartzModel
+from repro.baselines.slow_dram import (
+    dramsim2_ddr3,
+    ramulator_ddr4,
+    ramulator_pcm,
+)
+from repro.target import TargetSystem
+from repro.vans import MemoryModeSystem, VansConfig, VansSystem
+
+
+def _vans(ndimms: int = 1) -> Callable[[], TargetSystem]:
+    cfg = VansConfig().with_dimms(ndimms)
+    return lambda: VansSystem(cfg)
+
+
+TARGETS: Dict[str, Callable[[], TargetSystem]] = {
+    "vans": _vans(1),
+    "vans-6dimm": _vans(6),
+    "memory-mode": lambda: MemoryModeSystem(),
+    "pmep": lambda: PMEPModel(),
+    "quartz": lambda: QuartzModel(),
+    "dramsim2-ddr3": dramsim2_ddr3,
+    "ramulator-ddr4": ramulator_ddr4,
+    "ramulator-pcm": ramulator_pcm,
+}
+
+
+def make_target(name: str) -> Callable[[], TargetSystem]:
+    try:
+        return TARGETS[name]
+    except KeyError:
+        known = ", ".join(sorted(TARGETS))
+        raise SystemExit(f"unknown target {name!r}; choose from: {known}")

@@ -1,0 +1,55 @@
+"""VANS — Validated NVRAM Simulator.
+
+Models the Optane DIMM microarchitecture the paper characterizes with
+LENS (Figure 8):
+
+* iMC with a read pending queue and an ADR-protected 512B write pending
+  queue per channel, plus 4KB multi-DIMM interleaving;
+* on-DIMM LSQ (64 x 64B) performing write combining to 256B;
+* 16KB SRAM RMW buffer (64 x 256B entries) doing read-modify-write for
+  sub-256B stores;
+* AIT: a DRAM-resident address-indirection table plus a 16MB (4096 x
+  4KB) AIT data buffer in on-DIMM DDR4 DRAM;
+* 3D-XPoint media (256B granularity) behind a 64KB-block wear-leveler;
+* FCFS internal scheduling and a request/grant iMC<->DIMM protocol.
+
+The top-level entry point is :class:`~repro.vans.system.VansSystem`.
+"""
+
+from repro.vans.config import (
+    VansConfig,
+    DimmConfig,
+    LsqConfig,
+    RmwConfig,
+    AitConfig,
+    WpqConfig,
+    TimingConfig,
+)
+from repro.vans.dimm import NvramDimm
+from repro.vans.imc import IntegratedMemoryController
+from repro.vans.interleave import Interleaver
+from repro.vans.system import VansSystem
+from repro.vans.memory_mode import MemoryModeSystem
+from repro.vans.functional import FunctionalMemory
+from repro.vans.attach import AttachedMemory
+from repro.vans.tracing import TraceRecord, TracingProxy, replay
+
+__all__ = [
+    "VansConfig",
+    "DimmConfig",
+    "LsqConfig",
+    "RmwConfig",
+    "AitConfig",
+    "WpqConfig",
+    "TimingConfig",
+    "NvramDimm",
+    "IntegratedMemoryController",
+    "Interleaver",
+    "VansSystem",
+    "MemoryModeSystem",
+    "FunctionalMemory",
+    "AttachedMemory",
+    "TraceRecord",
+    "TracingProxy",
+    "replay",
+]

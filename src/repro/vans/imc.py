@@ -1,0 +1,112 @@
+"""Integrated memory controller (iMC) model.
+
+Each NVRAM channel has a read pending queue (RPQ) and a write pending
+queue (WPQ).  The WPQ is inside the ADR (asynchronous DRAM refresh)
+power-fail domain: a store is *persistent* the moment it is accepted, so
+an nt-store's observed latency is its WPQ admission time — which is why
+LENS's store latency curve inflects exactly when a write burst exceeds
+the 512B WPQ (Figure 5a) and why ``mfence`` cost tracks WPQ drain.
+
+The iMC and DIMM communicate by a request/grant scheme (DDR-T): reads pay
+a request hop going out and a grant hop coming back; WPQ entries drain to
+the DIMM LSQ one 64B line at a time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine.queueing import FcfsStation, Server
+from repro.engine.request import CACHE_LINE
+from repro.engine.stats import StatsRegistry
+from repro.vans.config import VansConfig
+from repro.vans.dimm import NvramDimm
+from repro.vans.interleave import Interleaver
+
+#: outstanding-read limit per channel (RPQ entries)
+RPQ_ENTRIES = 64
+
+
+class IntegratedMemoryController:
+    """iMC front end over one or more NVRAM DIMMs."""
+
+    def __init__(self, config: VansConfig, stats: Optional[StatsRegistry] = None,
+                 track_line_wear: bool = False) -> None:
+        self.config = config
+        self.stats = stats or StatsRegistry()
+        self.interleaver = Interleaver(
+            config.ndimms, config.interleave_bytes, config.interleaved
+        )
+        self.dimms: List[NvramDimm] = [
+            NvramDimm(config.dimm, stats=self.stats, track_line_wear=track_line_wear)
+            for _ in range(config.ndimms)
+        ]
+        self.wpqs: List[FcfsStation] = [
+            FcfsStation(config.wpq.entries) for _ in range(config.ndimms)
+        ]
+        self.rpqs: List[FcfsStation] = [
+            FcfsStation(RPQ_ENTRIES) for _ in range(config.ndimms)
+        ]
+        # Serial per-channel write path draining the WPQ into the DIMM.
+        self.write_buses: List[Server] = [Server() for _ in range(config.ndimms)]
+        # Optional explicit DDR-T request/grant layer (protocol studies).
+        self.ddrt = None
+        if config.dimm.timing.ddrt_detailed:
+            from repro.vans.ddrt import DdrtChannel
+            self.ddrt = [DdrtChannel(stats=self.stats)
+                         for _ in range(config.ndimms)]
+        self._c_reads = self.stats.counter("imc.reads")
+        self._c_writes = self.stats.counter("imc.writes")
+        self._c_fences = self.stats.counter("imc.fences")
+
+    def read(self, addr: int, now: int) -> int:
+        """Issue a 64B read; returns the time data reaches the core side."""
+        self._c_reads.add()
+        t = self.config.dimm.timing
+        dimm_idx, local = self.interleaver.map(addr)
+        rpq = self.rpqs[dimm_idx]
+        start = rpq.admit(now)
+        if self.ddrt is not None:
+            channel = self.ddrt[dimm_idx]
+            cmd_done = channel.send_read_request(start)
+            ready = self.dimms[dimm_idx].read_line(local, cmd_done)
+            done = channel.return_read_data(ready)
+        else:
+            done = self.dimms[dimm_idx].read_line(local,
+                                                  start + t.ddrt_request_ps)
+        rpq.retire_at(done)
+        return done
+
+    def write(self, addr: int, now: int, nbytes: int = CACHE_LINE) -> int:
+        """Issue a 64B (nt-)store; returns its persistence-accept time.
+
+        The accept time is the WPQ admission (ADR domain).  The drain to
+        the DIMM continues asynchronously and frees the WPQ slot when the
+        line has been transferred into the DIMM LSQ.
+        """
+        self._c_writes.add()
+        t = self.config.dimm.timing
+        dimm_idx, local = self.interleaver.map(addr)
+        wpq = self.wpqs[dimm_idx]
+        accept = wpq.admit(now)
+        if self.ddrt is not None:
+            channel = self.ddrt[dimm_idx]
+            xfer_done = channel.send_write(accept)
+            lsq_admit = self.dimms[dimm_idx].write_line(local, xfer_done,
+                                                        nbytes)
+            channel.complete_write(lsq_admit)
+        else:
+            xfer_done = self.write_buses[dimm_idx].serve(accept,
+                                                         t.wpq_xfer_ps)
+            lsq_admit = self.dimms[dimm_idx].write_line(local, xfer_done,
+                                                        nbytes)
+        wpq.retire_at(max(lsq_admit, xfer_done))
+        return accept
+
+    def fence(self, now: int) -> int:
+        """Drain every WPQ and DIMM LSQ; returns the global drain time."""
+        self._c_fences.add()
+        done = now
+        for wpq, dimm in zip(self.wpqs, self.dimms):
+            done = max(done, wpq.drain_time(now), dimm.flush(now))
+        return done

@@ -1,0 +1,45 @@
+"""Multi-DIMM interleaving (the iMC address-mapping policy).
+
+LENS's policy prober finds Optane channels interleave at 4KB granularity
+(Figure 7a): the first 4KB of a sequential stream lands on one DIMM, the
+next 4KB on the next DIMM, and so on.  Non-interleaved mode concatenates
+DIMM address spaces instead.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.units import is_power_of_two
+
+
+class Interleaver:
+    """Bijective system-address <-> (dimm, local-address) mapping."""
+
+    def __init__(self, ndimms: int, granularity: int, interleaved: bool) -> None:
+        if ndimms < 1:
+            raise ConfigError("ndimms must be >= 1")
+        if not is_power_of_two(granularity):
+            raise ConfigError("interleave granularity must be a power of two")
+        self.ndimms = ndimms
+        self.granularity = granularity
+        self.interleaved = interleaved and ndimms > 1
+
+    def map(self, addr: int) -> Tuple[int, int]:
+        """System address -> (dimm index, DIMM-local address)."""
+        if not self.interleaved:
+            return 0, addr
+        g = self.granularity
+        granule = addr // g
+        dimm = granule % self.ndimms
+        local = (granule // self.ndimms) * g + (addr % g)
+        return dimm, local
+
+    def unmap(self, dimm: int, local: int) -> int:
+        """Inverse of :meth:`map`."""
+        if not self.interleaved:
+            return local
+        g = self.granularity
+        granule_local = local // g
+        return (granule_local * self.ndimms + dimm) * g + (local % g)

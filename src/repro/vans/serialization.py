@@ -1,0 +1,103 @@
+"""Config serialization: VansConfig <-> plain dicts / JSON files.
+
+The original VANS is driven by config files ("users can reconfigure VANS
+based on the new parameters"); this module provides the same workflow
+for the Python reproduction.  Dicts are nested by subsystem, with only
+the overridden keys present — a file describing a new DIMM lists just
+what differs from the validated Optane defaults.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields, is_dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.common.errors import ConfigError
+from repro.media.wear import WearConfig
+from repro.media.xpoint import XPointConfig
+from repro.vans.config import (
+    AitConfig,
+    DimmConfig,
+    LsqConfig,
+    RmwConfig,
+    TimingConfig,
+    VansConfig,
+    WpqConfig,
+)
+
+#: dotted section name -> dataclass type, for validation/round-trip
+_SECTIONS = {
+    "wpq": WpqConfig,
+    "dimm": DimmConfig,
+    "dimm.lsq": LsqConfig,
+    "dimm.rmw": RmwConfig,
+    "dimm.ait": AitConfig,
+    "dimm.media": XPointConfig,
+    "dimm.wear": WearConfig,
+    "dimm.timing": TimingConfig,
+}
+
+
+def _to_dict(obj: Any) -> Any:
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _to_dict(getattr(obj, f.name)) for f in fields(obj)}
+    return obj
+
+
+def config_to_dict(config: VansConfig) -> Dict[str, Any]:
+    """Full nested dict of every parameter (the dump format)."""
+    out = _to_dict(config)
+    # the DRAM timing preset serializes by name
+    out["dimm"]["dram_timing"] = config.dimm.dram_timing.name
+    return out
+
+
+def _apply(obj, overrides: Dict[str, Any], path: str):
+    """Return ``obj`` with nested overrides applied."""
+    changes = {}
+    valid = {f.name: f for f in fields(obj)}
+    for key, value in overrides.items():
+        if key not in valid:
+            raise ConfigError(f"unknown config key {path}{key!r}")
+        current = getattr(obj, key)
+        if is_dataclass(current) and isinstance(value, dict):
+            changes[key] = _apply(current, value, f"{path}{key}.")
+        elif key == "dram_timing" and isinstance(value, str):
+            changes[key] = _timing_by_name(value)
+        else:
+            changes[key] = value
+    return replace(obj, **changes)
+
+
+def _timing_by_name(name: str):
+    from repro.dram.timing import DDR3_1600, DDR4_2400, DDR4_2666, PCM_TIMING
+    presets = {t.name: t for t in (DDR3_1600, DDR4_2400, DDR4_2666,
+                                   PCM_TIMING)}
+    if name not in presets:
+        raise ConfigError(f"unknown DRAM timing preset {name!r}; "
+                          f"choose from {sorted(presets)}")
+    return presets[name]
+
+
+def config_from_dict(overrides: Dict[str, Any],
+                     base: VansConfig = None) -> VansConfig:
+    """Build a config from ``base`` (default: validated Optane) plus the
+    nested ``overrides`` dict.  Unknown keys raise ConfigError."""
+    base = base or VansConfig()
+    return _apply(base, overrides, "")
+
+
+def save_config(config: VansConfig, path: Union[str, Path]) -> None:
+    """Dump the complete configuration as JSON."""
+    with open(path, "w", encoding="ascii") as fh:
+        json.dump(config_to_dict(config), fh, indent=2, sort_keys=True)
+
+
+def load_config(path: Union[str, Path],
+                base: VansConfig = None) -> VansConfig:
+    """Load a (possibly partial) JSON config file."""
+    with open(path, "r", encoding="ascii") as fh:
+        overrides = json.load(fh)
+    return config_from_dict(overrides, base=base)

@@ -1,0 +1,39 @@
+"""Workload generators.
+
+* :mod:`repro.workloads.spec` — synthetic SPEC CPU 2006/2017 trace
+  generators calibrated to each benchmark's Table IV LLC MPKI and
+  footprint.
+* :mod:`repro.workloads.cloud` — the cloud/persistent-memory workloads of
+  Sections V (Redis, YCSB, TPCC, fio-write, PMDK HashMap, PMDK
+  LinkedList), reproducing each one's documented access pattern.
+* :mod:`repro.workloads.zipf` — zipfian key sampling (YCSB's hot keys).
+"""
+
+from repro.workloads.zipf import ZipfSampler
+from repro.workloads.spec import SPEC_WORKLOADS, SpecWorkload, spec_trace
+from repro.workloads.stats import TraceStats, analyze
+from repro.workloads.cloud import (
+    redis_trace,
+    ycsb_trace,
+    tpcc_trace,
+    fio_write_trace,
+    hashmap_trace,
+    linkedlist_trace,
+    CLOUD_WORKLOADS,
+)
+
+__all__ = [
+    "ZipfSampler",
+    "SPEC_WORKLOADS",
+    "SpecWorkload",
+    "spec_trace",
+    "redis_trace",
+    "ycsb_trace",
+    "tpcc_trace",
+    "fio_write_trace",
+    "hashmap_trace",
+    "linkedlist_trace",
+    "CLOUD_WORKLOADS",
+    "TraceStats",
+    "analyze",
+]

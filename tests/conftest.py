@@ -1,0 +1,41 @@
+"""Shared fixtures: small, fast system configurations for tests."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.units import KIB, MIB
+from repro.media.wear import WearConfig
+from repro.vans import VansConfig, VansSystem
+
+
+@pytest.fixture
+def vans_config() -> VansConfig:
+    """Default single-DIMM Optane configuration."""
+    return VansConfig()
+
+
+@pytest.fixture
+def vans(vans_config) -> VansSystem:
+    return VansSystem(vans_config)
+
+
+@pytest.fixture
+def vans_factory(vans_config):
+    """Fresh-system factory (the shape LENS probers expect)."""
+    return lambda: VansSystem(vans_config)
+
+
+@pytest.fixture(scope="session")
+def fast_wear_config() -> VansConfig:
+    """Wear-leveling scaled down so migrations happen within small tests.
+
+    The threshold must stay above 256 (one 64KB block holds 256 x 256B
+    units), otherwise a single sequential pass over any region triggers
+    migrations and the Fig. 7c granularity signature disappears.
+    """
+    cfg = VansConfig()
+    wear = WearConfig(migrate_threshold=400)
+    return replace(cfg, dimm=replace(cfg.dimm, wear=wear))

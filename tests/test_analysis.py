@@ -1,0 +1,135 @@
+"""LENS curve-analysis functions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.stats import LatencySeries
+from repro.lens.analysis import (
+    accuracy,
+    amplification_scores,
+    detect_drop,
+    detect_period,
+    excess_knee,
+    find_inflections,
+    geomean,
+    mean_tail_gap,
+    score_knee,
+)
+
+
+def series(points):
+    s = LatencySeries("t")
+    for x, y in points:
+        s.add(x, y)
+    return s
+
+
+class TestInflections:
+    def test_two_clean_tiers(self):
+        s = series([(1024, 100), (2048, 100), (4096, 100),
+                    (8192, 180), (16384, 190), (32768, 320), (65536, 330)])
+        assert find_inflections(s) == [4096, 16384]
+
+    def test_flat_curve_no_inflections(self):
+        s = series([(2 ** i, 100.0) for i in range(10, 20)])
+        assert find_inflections(s) == []
+
+    def test_gradual_rise_no_false_positive(self):
+        s = series([(2 ** i, 100.0 * 1.05 ** i) for i in range(10, 20)])
+        assert find_inflections(s) == []
+
+    def test_single_point(self):
+        assert find_inflections(series([(1, 5)])) == []
+
+    @given(st.integers(2, 10))
+    def test_synthetic_buffer_curve(self, capacity_log):
+        """A blended LRU-buffer curve always yields the planted capacity."""
+        capacity = 1024 << capacity_log
+        xs = [1024 << i for i in range(capacity_log + 6)]
+        t_hit, t_miss = 100.0, 400.0
+        pts = []
+        for x in xs:
+            hit = min(1.0, capacity / x)
+            pts.append((x, hit * t_hit + (1 - hit) * t_miss))
+        found = find_inflections(series(pts))
+        assert capacity in found
+
+
+class TestAmplification:
+    def test_scores_ratio(self):
+        over = series([(64, 200.0), (256, 120.0)])
+        fit = series([(64, 100.0), (256, 100.0)])
+        scores = amplification_scores(over, fit)
+        assert scores.values == [2.0, 1.2]
+
+    def test_score_knee(self):
+        scores = series([(64, 2.0), (128, 1.5), (256, 1.05), (512, 1.0)])
+        assert score_knee(scores) == 256
+
+    def test_excess_knee_finds_entry_size(self):
+        over = series([(64, 211.0), (128, 160.0), (256, 128.0), (512, 126.0)])
+        fit = series([(64, 100.0), (128, 100.0), (256, 100.0), (512, 100.0)])
+        assert excess_knee(over, fit) == 256
+
+    def test_empty_inputs(self):
+        assert score_knee(series([])) == 0
+        assert excess_knee(series([]), series([])) == 0
+
+
+class TestDropAndPeriod:
+    def test_detect_drop(self):
+        s = series([(256, 0.04), (1024, 0.041), (65536, 0.04),
+                    (131072, 0.001), (262144, 0.0)])
+        assert detect_drop(s) == 65536
+
+    def test_no_drop(self):
+        s = series([(256, 0.04), (1024, 0.05)])
+        assert detect_drop(s) == 0
+
+    def test_detect_period(self):
+        # sawtooth with period 8 samples of step 512 -> 4096 bytes
+        pts = []
+        for i in range(40):
+            base = i * 10.0
+            pts.append((512 * (i + 1), base + (5.0 if i % 8 == 0 else 0.0)))
+        assert detect_period(series(pts)) == 8 * 512
+
+    def test_no_period_on_linear(self):
+        pts = [(512 * (i + 1), 10.0 * i) for i in range(40)]
+        assert detect_period(series(pts)) == 0
+
+    def test_period_needs_enough_points(self):
+        assert detect_period(series([(1, 1.0), (2, 2.0)])) == 0
+
+
+class TestAccuracyMetrics:
+    def test_perfect_match(self):
+        assert accuracy([1.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_paper_metric_definition(self):
+        # 10% error on one point, exact on the other -> 95%
+        assert accuracy([1.1, 2.0], [1.0, 2.0]) == pytest.approx(0.95)
+
+    def test_floor_at_zero(self):
+        assert accuracy([10.0], [1.0]) == 0.0
+
+    def test_zero_reference_skipped(self):
+        assert accuracy([1.0, 5.0], [0.0, 5.0]) == 1.0
+
+    def test_empty(self):
+        assert accuracy([], []) == 0.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+    def test_mean_tail_gap(self):
+        assert mean_tail_gap([10, 20, 40]) == 15.0
+        assert mean_tail_gap([5]) == 0.0
+
+    @given(st.lists(st.floats(0.1, 100), min_size=1, max_size=20))
+    def test_accuracy_bounded(self, refs):
+        sims = [r * 1.05 for r in refs]
+        acc = accuracy(sims, refs)
+        assert 0.0 <= acc <= 1.0
+        assert acc == pytest.approx(0.95)

@@ -1,0 +1,31 @@
+"""Bandwidth matrix experiment."""
+
+import pytest
+
+from repro.experiments import bandwidth_matrix
+from repro.experiments.common import Scale
+
+
+@pytest.fixture(scope="module")
+def result():
+    return bandwidth_matrix.run(Scale.SMOKE)
+
+
+def test_sequential_writes_far_exceed_random(result):
+    assert result.metrics["seq_over_rand_write"] > 5
+
+
+def test_mixed_underperforms_pure_average(result):
+    """The Section III-C / FIRM observation: mixed read/write streams
+    on NVRAM do worse than the mean of their pure components."""
+    assert result.metrics["mixed_vs_pure_avg"] < 0.9
+
+
+def test_nvram_trails_dram_on_reads(result):
+    rows = {(r[0], r[1]): r for r in result.rows}
+    assert rows[("seq", "read")][3] > rows[("seq", "read")][2]
+
+
+def test_all_cells_positive(result):
+    for row in result.rows:
+        assert row[2] > 0 and row[3] > 0

@@ -1,0 +1,93 @@
+"""Baseline emulators/simulators: they must behave like the paper says
+they do — i.e. like slower DRAM, *without* Optane's buffer structure."""
+
+import pytest
+
+from repro.baselines import (
+    PMEPModel,
+    QuartzModel,
+    SlowDramSystem,
+    dramsim2_ddr3,
+    ramulator_ddr4,
+    ramulator_pcm,
+)
+from repro.common.units import KIB, MIB, NS
+from repro.lens.microbench.pointer_chasing import PointerChasing
+
+
+class TestPmep:
+    def test_read_includes_injected_delay(self):
+        pmep = PMEPModel()
+        done = pmep.read(0, 0)
+        assert done >= pmep.read_delay_ps
+
+    def test_latency_flat_across_regions(self):
+        """The Figure 1b PMEP signature: no buffer tiers."""
+        pc = PointerChasing(seed=1)
+        small = pc.read_latency_ns(PMEPModel(), 4 * KIB)
+        large = pc.read_latency_ns(PMEPModel(), 64 * MIB)
+        assert large / small < 1.3
+
+    def test_nt_store_slower_than_cached(self):
+        """The Figure 1a inversion on PMEP."""
+        pmep = PMEPModel()
+        cached = pmep.write(0, 0)
+        pmep2 = PMEPModel()
+        nt = pmep2.write_nt(0, 0)
+        assert nt > cached
+
+    def test_throttle_serializes_writes(self):
+        pmep = PMEPModel()
+        a = pmep.write(0, 0)
+        b = pmep.write(64, 0)
+        assert b > a
+
+
+class TestQuartz:
+    def test_delay_injected_at_epoch_boundaries(self):
+        quartz = QuartzModel(epoch_accesses=4, extra_read_ps=100 * NS)
+        latencies = []
+        now = 0
+        for i in range(8):
+            done = quartz.read(i * 64, now)
+            latencies.append(done - now)
+            now = done
+        # epochs end at accesses 4 and 8: those two reads absorb the
+        # banked delay of their whole epoch
+        assert latencies[3] > latencies[0]
+        assert latencies[7] > latencies[4]
+        assert quartz.injected_stall_ps == 8 * 100 * NS
+
+    def test_average_reflects_target_latency(self):
+        quartz = QuartzModel(epoch_accesses=16, extra_read_ps=200 * NS)
+        now = 0
+        n = 64
+        for i in range(n):
+            now = quartz.read(i * 64, now)
+        assert now / n >= 200 * NS
+
+
+class TestSlowDram:
+    @pytest.mark.parametrize("factory", [dramsim2_ddr3, ramulator_ddr4,
+                                         ramulator_pcm])
+    def test_construct_and_access(self, factory):
+        system = factory()
+        assert isinstance(system, SlowDramSystem)
+        done = system.read(0, 0)
+        assert done > 0
+        assert system.write(64, done) > done
+
+    def test_pcm_slower_than_ddr4(self):
+        pcm_done = ramulator_pcm().read(0, 0)
+        ddr_done = ramulator_ddr4().read(0, 0)
+        assert pcm_done > ddr_done
+
+    def test_no_buffer_tiers(self):
+        """The Figure 3b signature: PCM-on-DDR has no 16KB inflection."""
+        pc = PointerChasing(seed=2)
+        at_8k = pc.read_latency_ns(ramulator_pcm(), 8 * KIB)
+        at_64k = pc.read_latency_ns(ramulator_pcm(), 64 * KIB)
+        assert abs(at_64k - at_8k) / at_8k < 0.25
+
+    def test_fence_free(self):
+        assert ramulator_ddr4().fence(42) == 42

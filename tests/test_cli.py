@@ -1,0 +1,58 @@
+"""Command-line tools."""
+
+import pytest
+
+from repro.tools.lens_cli import main as lens_main
+from repro.tools.targets import TARGETS, make_target
+from repro.tools.trace_cli import main as trace_main
+
+
+class TestTargets:
+    def test_all_targets_construct(self):
+        for name in TARGETS:
+            system = make_target(name)()
+            assert system.read(0, 0) > 0
+
+    def test_unknown_target(self):
+        with pytest.raises(SystemExit):
+            make_target("nope")
+
+
+class TestLensCli:
+    def test_buffer_probe_on_vans(self, capsys):
+        assert lens_main(["vans", "--buffers"]) == 0
+        out = capsys.readouterr().out
+        assert "16K" in out and "16M" in out
+        assert "inclusive" in out
+
+    def test_buffer_probe_on_pmep(self, capsys):
+        assert lens_main(["pmep", "--buffers"]) == 0
+        out = capsys.readouterr().out
+        assert "none detected" in out
+
+
+class TestTraceCli:
+    def test_capture_then_replay(self, tmp_path, capsys):
+        path = str(tmp_path / "x.trace")
+        assert trace_main(["capture", path, "--pattern", "chase",
+                           "--ops", "200"]) == 0
+        assert trace_main(["replay", path, "--target", "vans"]) == 0
+        out = capsys.readouterr().out
+        assert "reads:" in out
+        assert "200" in out
+
+    def test_capture_overwrite_pattern(self, tmp_path, capsys):
+        path = str(tmp_path / "ow.trace")
+        assert trace_main(["capture", path, "--pattern", "overwrite",
+                           "--ops", "10"]) == 0
+        assert trace_main(["replay", path]) == 0
+        out = capsys.readouterr().out
+        assert "fences: 10" in out
+
+    def test_seq_write_pattern(self, tmp_path, capsys):
+        path = str(tmp_path / "w.trace")
+        trace_main(["capture", path, "--pattern", "seq-write",
+                    "--ops", "64"])
+        trace_main(["replay", path, "--target", "ramulator-ddr4"])
+        out = capsys.readouterr().out
+        assert "writes:" in out

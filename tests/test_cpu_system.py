@@ -1,0 +1,57 @@
+"""Full-system harness."""
+
+import pytest
+
+from repro.baselines.slow_dram import ramulator_ddr4
+from repro.cpu import FullSystem
+from repro.cpu.system import MemOp
+from repro.vans import VansSystem
+
+
+def simple_trace(n, stride=1 << 21):
+    return [MemOp(nonmem=20, vaddr=(i * stride) % (1 << 31)) for i in range(n)]
+
+
+def test_report_fields():
+    system = FullSystem(ramulator_ddr4(), name="t")
+    report = system.run(simple_trace(100))
+    assert report.name == "t"
+    assert report.instructions == 100 * 21
+    assert report.ipc > 0
+    assert 0 <= report.llc_miss_rate <= 1
+    assert report.llc_mpki >= 0
+    assert report.elapsed_ps > 0
+
+
+def test_warmup_excluded_from_stats():
+    cold = FullSystem(ramulator_ddr4()).run(simple_trace(200))
+    warm = FullSystem(ramulator_ddr4()).run(simple_trace(200), warmup_ops=100)
+    assert warm.instructions < cold.instructions
+
+
+def test_nvram_backend_slower_than_dram():
+    trace = simple_trace(300)
+    dram = FullSystem(ramulator_ddr4(), name="dram").run(list(trace))
+    nvram = FullSystem(VansSystem(), name="nvram").run(list(trace))
+    assert nvram.elapsed_ps > dram.elapsed_ps
+
+
+def test_speedup_metric():
+    a = FullSystem(ramulator_ddr4()).run(simple_trace(100))
+    b = FullSystem(VansSystem()).run(simple_trace(100))
+    assert b.speedup_over(a) == pytest.approx(a.elapsed_ps / b.elapsed_ps)
+
+
+def test_backend_counters_in_report():
+    system = FullSystem(VansSystem())
+    report = system.run(simple_trace(50))
+    assert report.backend_counters.get("dimm.reads", 0) > 0
+
+
+def test_phase_metrics_propagate():
+    trace = [MemOp(nonmem=5, vaddr=i * (1 << 21), dependent=True,
+                   phase="read") for i in range(40)]
+    trace += [MemOp(nonmem=5, vaddr=0, phase="rest") for _ in range(40)]
+    report = FullSystem(VansSystem()).run(trace)
+    assert report.phase_cpi["read"] > report.phase_cpi["rest"]
+    assert report.phase_llc_misses.get("read", 0) > 0

@@ -1,0 +1,80 @@
+"""DDR-T request/grant channel model."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.vans import VansConfig, VansSystem
+from repro.vans.ddrt import DdrtChannel
+
+
+def detailed_config() -> VansConfig:
+    cfg = VansConfig()
+    timing = replace(cfg.dimm.timing, ddrt_detailed=True)
+    return replace(cfg, dimm=replace(cfg.dimm, timing=timing))
+
+
+class TestChannel:
+    def test_read_transaction_flow(self):
+        ch = DdrtChannel()
+        cmd_done = ch.send_read_request(0)
+        assert cmd_done == ch.command_ps
+        data_done = ch.return_read_data(cmd_done + 100_000)
+        assert data_done == cmd_done + 100_000 + ch.data_ps
+        assert ch.transactions == 1
+
+    def test_command_bus_serializes(self):
+        ch = DdrtChannel()
+        a = ch.send_read_request(0)
+        b = ch.send_read_request(0)
+        assert b == a + ch.command_ps
+
+    def test_credits_backpressure(self):
+        ch = DdrtChannel(command_slots=2)
+        ch.send_read_request(0)
+        ch.return_read_data(1_000_000)
+        ch.send_read_request(0)
+        ch.return_read_data(2_000_000)
+        # third transaction must wait for the first credit to return
+        third = ch.send_read_request(0)
+        assert third >= 1_000_000
+
+    def test_reads_and_writes_share_data_bus(self):
+        ch = DdrtChannel()
+        w = ch.send_write(0)
+        r_cmd = ch.send_read_request(0)
+        r_done = ch.return_read_data(r_cmd)
+        assert r_done >= w + ch.data_ps  # data beats serialized
+
+
+class TestDetailedMode:
+    def test_off_by_default(self):
+        assert VansSystem().imc.ddrt is None
+
+    def test_detailed_system_works(self):
+        system = VansSystem(detailed_config())
+        assert system.imc.ddrt is not None
+        now = system.read(0, 0)
+        now = system.write(64, now)
+        system.fence(now)
+        counters = system.counters()
+        assert counters["ddrt.read_txns"] == 1
+        assert counters["ddrt.write_txns"] == 1
+
+    def test_detailed_latency_close_to_calibrated(self):
+        """The explicit protocol should land near the calibrated fixed
+        hops for an isolated access (they model the same thing)."""
+        fixed = VansSystem().read(0, 0)
+        detailed = VansSystem(detailed_config()).read(0, 0)
+        assert detailed == pytest.approx(fixed, rel=0.15)
+
+    def test_detailed_mode_shows_credit_contention(self):
+        """A burst wider than the credit pool queues on the channel —
+        the contention the fixed-constant model cannot express."""
+        system = VansSystem(detailed_config())
+        # saturate: issue many independent reads at t=0 via the RPQ
+        last = 0
+        for i in range(48):
+            last = max(last, system.imc.read(i * 4096, 0))
+        credits = system.imc.ddrt[0].credits
+        assert credits.total_wait > 0

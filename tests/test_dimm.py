@@ -1,0 +1,148 @@
+"""NVRAM DIMM pipeline: buffers, write combining, amplification."""
+
+import pytest
+
+from repro.common.units import KIB, MIB, NS
+from repro.vans.config import DimmConfig
+from repro.vans.dimm import NvramDimm
+
+
+@pytest.fixture
+def dimm():
+    return NvramDimm(DimmConfig())
+
+
+class TestReadPath:
+    def test_rmw_hit_faster_than_miss(self, dimm):
+        miss = dimm.read_line(0, 0)
+        hit_start = miss + 1000
+        hit = dimm.read_line(0, hit_start) - hit_start
+        assert hit < miss
+
+    def test_read_fills_256b_entry(self, dimm):
+        dimm.read_line(0, 0)
+        stats = dimm.stats.snapshot()
+        assert stats["dimm.rmw_fill_bytes"] == 256
+        # the sibling lines of the 256B block now hit
+        t = 10**7
+        before = dimm.stats.counter("dimm.rmw_hits").value
+        dimm.read_line(64, t)
+        assert dimm.stats.counter("dimm.rmw_hits").value == before + 1
+
+    def test_ait_miss_fills_4k(self, dimm):
+        dimm.read_line(0, 0)
+        assert dimm.stats.snapshot()["dimm.ait_fill_bytes"] == 4096
+
+    def test_ait_hit_after_page_fetch(self, dimm):
+        dimm.read_line(0, 0)
+        before = dimm.stats.counter("dimm.ait_hits").value
+        dimm.read_line(1024, 10**7)  # same 4KB page, different 256B block
+        assert dimm.stats.counter("dimm.ait_hits").value == before + 1
+
+    def test_rmw_capacity_lru(self, dimm):
+        nentries = dimm.config.rmw.entries
+        now = 0
+        for i in range(nentries + 1):
+            now = dimm.read_line(i * 256, now)
+        # block 0 was evicted: re-read misses
+        before = dimm.stats.counter("dimm.rmw_misses").value
+        dimm.read_line(0, now + 1000)
+        assert dimm.stats.counter("dimm.rmw_misses").value == before + 1
+
+    def test_read_amplification_property(self, dimm):
+        now = 0
+        for i in range(8):
+            now = dimm.read_line(i * 4096, now)  # all distinct pages
+        assert dimm.rmw_read_amplification == pytest.approx(4.0)
+        assert dimm.ait_read_amplification == pytest.approx(64.0)
+
+
+class TestWritePath:
+    def test_sequential_lines_combine(self, dimm):
+        now = 0
+        for i in range(8):
+            now = max(now, dimm.write_line(i * 64, now)) + 10 * NS
+        dimm.flush(now)
+        stats = dimm.stats.snapshot()
+        assert stats["dimm.combined_write_ops"] == 2  # 8 lines -> 2 x 256B
+        assert stats["dimm.partial_write_ops"] == 0
+
+    def test_scattered_lines_trigger_rmw(self, dimm):
+        now = 0
+        for i in range(4):
+            now = max(now, dimm.write_line(i * 4096, now)) + 10 * NS
+        dimm.flush(now)
+        assert dimm.stats.snapshot()["dimm.partial_write_ops"] == 4
+
+    def test_write_through_reaches_media(self, dimm):
+        now = dimm.write_line(0, 0)
+        dimm.flush(now)
+        assert dimm.media.writes >= 1
+
+    def test_write_amplification_of_scattered_64b(self, dimm):
+        now = 0
+        for i in range(16):
+            now = max(now, dimm.write_line(i * 4096, now)) + 10 * NS
+        dimm.flush(now)
+        # each 64B store drained as a 256B media write
+        assert dimm.write_amplification == pytest.approx(4.0)
+
+    def test_combining_window_expires(self, dimm):
+        gap = dimm.config.lsq.combine_window_ps * 3
+        now = dimm.write_line(0, 0)
+        now = dimm.write_line(64, now + gap)  # same block, too late
+        dimm.flush(now + gap)
+        assert dimm.stats.snapshot()["dimm.partial_write_ops"] == 2
+
+    def test_write_allocates_ait_tag(self, dimm):
+        now = dimm.write_line(0, 0)
+        done = dimm.flush(now)
+        before = dimm.stats.counter("dimm.ait_hits").value
+        dimm.read_line(1024, done + 1000)  # same page
+        assert dimm.stats.counter("dimm.ait_hits").value == before + 1
+
+
+class TestFence:
+    def test_flush_drains_pending_combine(self, dimm):
+        dimm.write_line(0, 0)
+        done = dimm.flush(1000)
+        assert done > 1000
+        assert dimm.stats.snapshot()["dimm.combined_write_ops"] \
+            + dimm.stats.snapshot()["dimm.partial_write_ops"] == 1
+
+    def test_flush_idempotent_when_empty(self, dimm):
+        assert dimm.flush(500) == 500
+
+
+class TestWarmFill:
+    def test_warm_fill_makes_reads_hit(self, dimm):
+        dimm.warm_fill(0, 16 * KIB)
+        dimm.read_line(0, 0)
+        stats = dimm.stats.snapshot()
+        assert stats["dimm.rmw_hits"] == 1
+        assert stats["dimm.rmw_misses"] == 0
+
+    def test_warm_fill_respects_capacity(self, dimm):
+        dimm.warm_fill(0, 64 * MIB)
+        assert len(dimm._ait_tags) <= dimm.config.ait.entries
+        assert len(dimm._rmw_tags) <= dimm.config.rmw.entries
+
+    def test_invalidate_buffers(self, dimm):
+        dimm.warm_fill(0, 16 * KIB)
+        dimm.invalidate_buffers()
+        dimm.read_line(0, 0)
+        assert dimm.stats.snapshot()["dimm.rmw_misses"] == 1
+
+
+class TestTurnaround:
+    def test_direction_switch_costs_extra(self):
+        a = NvramDimm(DimmConfig())
+        a.read_line(0, 0)
+        t0 = 10**7
+        read_after_read = a.read_line(4096, t0) - t0
+
+        b = NvramDimm(DimmConfig())
+        b.read_line(0, 0)
+        b.write_line(8192, 10**6)
+        read_after_write = b.read_line(4096, t0) - t0
+        assert read_after_write > read_after_read

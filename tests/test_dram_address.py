@@ -1,0 +1,43 @@
+"""DRAM address mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.dram.address import AddressMapping
+
+
+def test_sequential_lines_share_rows():
+    mapping = AddressMapping(nbanks=16, row_bytes=8192)
+    bank0, row0, col0 = mapping.decompose(0)
+    bank1, row1, col1 = mapping.decompose(64)
+    assert (bank0, row0) == (bank1, row1)
+    assert col1 == col0 + 1
+
+
+def test_row_crossing_changes_bank():
+    mapping = AddressMapping(nbanks=16, row_bytes=8192)
+    bank_a, row_a, _ = mapping.decompose(8192 - 64)
+    bank_b, row_b, _ = mapping.decompose(8192)
+    assert (bank_a, row_a) != (bank_b, row_b)
+
+
+def test_cols_per_row():
+    assert AddressMapping(row_bytes=8192).cols_per_row == 128
+
+
+def test_invalid_configs():
+    with pytest.raises(ConfigError):
+        AddressMapping(nbanks=3)
+    with pytest.raises(ConfigError):
+        AddressMapping(row_bytes=100)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 34) - 64))
+def test_decompose_compose_roundtrip(addr):
+    mapping = AddressMapping()
+    line_base = addr - (addr % 64)
+    bank, row, col = mapping.decompose(addr)
+    assert 0 <= bank < mapping.nbanks
+    assert 0 <= col < mapping.cols_per_row
+    assert mapping.compose(bank, row, col) == line_base

@@ -1,0 +1,57 @@
+"""DDR timing parameter sets."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.dram.timing import DDR3_1600, DDR4_2400, DDR4_2666, DDR4Timing, PCM_TIMING
+
+
+def test_ddr4_2666_matches_table_v():
+    t = DDR4_2666
+    assert (t.cl, t.trcd, t.trp, t.tras) == (19, 19, 19, 43)
+    assert t.tck_ps == 750
+
+
+def test_trc_composition():
+    assert DDR4_2666.trc == DDR4_2666.tras + DDR4_2666.trp
+
+
+def test_burst_cycles_bl8():
+    assert DDR4_2666.burst_cycles == 4
+
+
+def test_ps_conversion():
+    assert DDR4_2666.ps(10) == 7500
+
+
+def test_read_latency():
+    t = DDR4_2666
+    assert t.read_latency_ps() == t.ps(t.cl + t.burst_cycles)
+
+
+def test_pcm_is_stretched_ddr4():
+    assert PCM_TIMING.trcd > DDR4_2666.trcd
+    assert PCM_TIMING.twr > DDR4_2666.twr
+    assert PCM_TIMING.tck_ps == DDR4_2666.tck_ps  # same bus clock
+
+
+def test_scaled_helper():
+    slow = DDR4_2666.scaled("slow", read_scale=2.0, write_scale=3.0)
+    assert slow.trcd == DDR4_2666.trcd * 2
+    assert slow.twr == DDR4_2666.twr * 3
+    assert slow.name == "slow"
+
+
+def test_ddr3_slower_clock():
+    assert DDR3_1600.tck_ps > DDR4_2400.tck_ps > DDR4_2666.tck_ps
+
+
+def test_invalid_timing_rejected():
+    with pytest.raises(ConfigError):
+        DDR4Timing(name="bad", tck_ps=0, burst_length=8, cl=10, cwl=9,
+                   trcd=10, trp=10, tras=20, trrd=4, tfaw=20, tccd=4,
+                   twr=10, twtr=5, trtp=5, trefi=1000, trfc=100)
+    with pytest.raises(ConfigError):
+        DDR4Timing(name="bad", tck_ps=750, burst_length=8, cl=10, cwl=9,
+                   trcd=30, trp=10, tras=20, trrd=4, tfaw=20, tccd=4,
+                   twr=10, twtr=5, trtp=5, trefi=1000, trfc=100)

@@ -1,0 +1,187 @@
+"""DDR4 protocol checker: legal traces pass, violations are caught.
+
+This is the reproduction of the paper's Section IV-B verification: the
+controller's command stream is replayed through an independent
+implementation of the JEDEC rules.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ProtocolError
+from repro.dram.command import Command, CmdType
+from repro.dram.controller import DramController
+from repro.dram.timing import DDR4_2666, DDR3_1600, PCM_TIMING
+from repro.dram.verifier import DDR4ProtocolChecker
+
+T = DDR4_2666
+
+
+def checked(commands):
+    return DDR4ProtocolChecker(T, nbanks=16).check(commands)
+
+
+class TestLegalTraces:
+    def test_minimal_read(self):
+        cmds = [
+            Command(0, CmdType.ACT, 0, row=1),
+            Command(T.ps(T.trcd), CmdType.RD, 0, col=0),
+        ]
+        assert checked(cmds) == 2
+
+    def test_act_rd_pre_act_cycle(self):
+        t1 = T.ps(T.trcd)
+        pre = max(T.ps(T.tras), t1 + T.ps(T.trtp))
+        cmds = [
+            Command(0, CmdType.ACT, 0, row=1),
+            Command(t1, CmdType.RD, 0, col=0),
+            Command(pre, CmdType.PRE, 0),
+            Command(pre + T.ps(T.trp), CmdType.ACT, 0, row=2),
+        ]
+        assert checked(cmds) == 4
+
+    def test_controller_sequential_trace_is_legal(self):
+        ctrl = DramController(T, record_commands=True)
+        now = 0
+        for i in range(256):
+            now = ctrl.access(i * 64, i % 3 == 0, now)
+        assert checked(ctrl.commands) == len(ctrl.commands)
+
+    def test_controller_random_trace_is_legal(self):
+        from repro.common.rng import make_rng
+        rng = make_rng(11, "dram-verify")
+        ctrl = DramController(T, record_commands=True)
+        now = 0
+        for _ in range(512):
+            addr = rng.randrange(1 << 24) // 64 * 64
+            now = ctrl.access(addr, rng.random() < 0.4, now)
+        assert checked(ctrl.commands) == len(ctrl.commands)
+
+    def test_controller_trace_with_refresh_is_legal(self):
+        ctrl = DramController(T, record_commands=True)
+        now = 0
+        # span several tREFI windows
+        for i in range(64):
+            now = ctrl.access(i * 64, False, now + T.ps(T.trefi) // 4)
+        assert CmdType.REF in [c.kind for c in ctrl.commands]
+        assert checked(ctrl.commands) == len(ctrl.commands)
+
+    def test_closed_page_trace_is_legal(self):
+        ctrl = DramController(T, record_commands=True, row_policy="closed")
+        now = 0
+        for i in range(128):
+            now = ctrl.access(i * 4096, i % 2 == 0, now)
+        assert checked(ctrl.commands) == len(ctrl.commands)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, (1 << 22) - 1),
+                              st.booleans(),
+                              st.integers(0, 2000)),
+                    min_size=1, max_size=120),
+           st.sampled_from([DDR4_2666, DDR3_1600, PCM_TIMING]))
+    def test_any_access_pattern_yields_legal_commands(self, ops, timing):
+        """Property: the controller never emits an illegal command
+        stream, whatever the access pattern or timing grade."""
+        ctrl = DramController(timing, record_commands=True)
+        now = 0
+        for addr, is_write, gap in ops:
+            now = ctrl.access(addr // 64 * 64, is_write, now + gap * 1000)
+        DDR4ProtocolChecker(timing, nbanks=16).check(ctrl.commands)
+
+
+class TestViolationsCaught:
+    def test_rd_without_act(self):
+        with pytest.raises(ProtocolError, match="precharged"):
+            checked([Command(0, CmdType.RD, 0, col=0)])
+
+    def test_rd_before_trcd(self):
+        with pytest.raises(ProtocolError, match="tRCD"):
+            checked([
+                Command(0, CmdType.ACT, 0, row=1),
+                Command(T.ps(T.trcd) - 1, CmdType.RD, 0, col=0),
+            ])
+
+    def test_pre_before_tras(self):
+        with pytest.raises(ProtocolError, match="tRAS"):
+            checked([
+                Command(0, CmdType.ACT, 0, row=1),
+                Command(T.ps(T.tras) - 1, CmdType.PRE, 0),
+            ])
+
+    def test_act_to_open_bank(self):
+        with pytest.raises(ProtocolError, match="open row"):
+            checked([
+                Command(0, CmdType.ACT, 0, row=1),
+                Command(T.ps(T.trc), CmdType.ACT, 0, row=2),
+            ])
+
+    def test_act_act_trrd(self):
+        with pytest.raises(ProtocolError, match="tRRD"):
+            checked([
+                Command(0, CmdType.ACT, 0, row=1),
+                Command(T.ps(T.trrd) - 1, CmdType.ACT, 1, row=1),
+            ])
+
+    def test_five_acts_in_tfaw(self):
+        spacing = T.ps(T.trrd)
+        cmds = [Command(i * spacing, CmdType.ACT, i, row=0) for i in range(5)]
+        with pytest.raises(ProtocolError, match="tFAW"):
+            checked(cmds)
+
+    def test_wrong_row_column_access(self):
+        with pytest.raises(ProtocolError, match="row"):
+            checked([
+                Command(0, CmdType.ACT, 0, row=1),
+                Command(T.ps(T.trcd), CmdType.RD, 0, row=2, col=0),
+            ])
+
+    def test_read_too_soon_after_write(self):
+        t_wr = T.ps(T.trcd)
+        data_end = t_wr + T.ps(T.cwl) + T.ps(T.burst_cycles)
+        cmds = [
+            Command(0, CmdType.ACT, 0, row=1),
+            Command(t_wr, CmdType.WR, 0, col=0),
+            Command(data_end + T.ps(T.twtr) - 1, CmdType.RD, 0, col=1),
+        ]
+        with pytest.raises(ProtocolError, match="tWTR"):
+            checked(cmds)
+
+    def test_tccd_burst_spacing(self):
+        t_rd = T.ps(T.trcd)
+        cmds = [
+            Command(0, CmdType.ACT, 0, row=1),
+            Command(t_rd, CmdType.RD, 0, col=0),
+            Command(t_rd + T.ps(T.tccd) - 1, CmdType.RD, 0, col=1),
+        ]
+        with pytest.raises(ProtocolError, match="tCCD"):
+            checked(cmds)
+
+    def test_refresh_with_open_bank(self):
+        with pytest.raises(ProtocolError, match="open"):
+            checked([
+                Command(0, CmdType.ACT, 0, row=1),
+                Command(T.ps(T.tras), CmdType.REF, -1),
+            ])
+
+    def test_command_during_refresh(self):
+        with pytest.raises(ProtocolError, match="tRFC"):
+            checked([
+                Command(0, CmdType.REF, -1),
+                Command(T.ps(T.trfc) - 1, CmdType.ACT, 0, row=1),
+            ])
+
+    def test_pre_before_write_recovery(self):
+        t_wr = T.ps(T.trcd)
+        data_end = t_wr + T.ps(T.cwl) + T.ps(T.burst_cycles)
+        cmds = [
+            Command(0, CmdType.ACT, 0, row=1),
+            Command(t_wr, CmdType.WR, 0, col=0),
+            Command(data_end + T.ps(T.twr) - 1, CmdType.PRE, 0),
+        ]
+        with pytest.raises(ProtocolError, match="tWR"):
+            checked(cmds)
+
+    def test_redundant_pre_is_flagged_not_fatal(self):
+        checker = DDR4ProtocolChecker(T)
+        checker.check([Command(0, CmdType.PRE, 0)])
+        assert checker.violations

@@ -1,0 +1,104 @@
+"""Discrete-event kernel."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.engine.event import Engine
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule_at(30, order.append, "c")
+    engine.schedule_at(10, order.append, "a")
+    engine.schedule_at(20, order.append, "b")
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 30
+
+
+def test_fifo_among_equal_times():
+    engine = Engine()
+    order = []
+    for tag in "abc":
+        engine.schedule_at(5, order.append, tag)
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_relative_schedule():
+    engine = Engine()
+    engine.advance(100)
+    fired = []
+    engine.schedule(50, fired.append, 1)
+    engine.run()
+    assert engine.now == 150
+    assert fired == [1]
+
+
+def test_cannot_schedule_in_past():
+    engine = Engine()
+    engine.advance(100)
+    with pytest.raises(SimulationError):
+        engine.schedule_at(50, lambda: None)
+
+
+def test_cancel_event():
+    engine = Engine()
+    fired = []
+    handle = engine.schedule_at(10, fired.append, "x")
+    handle.cancel()
+    engine.run()
+    assert fired == []
+
+
+def test_run_until_stops_clock():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(10, fired.append, 1)
+    engine.schedule_at(100, fired.append, 2)
+    engine.run(until=50)
+    assert fired == [1]
+    assert engine.now == 50
+    engine.run()
+    assert fired == [1, 2]
+
+
+def test_events_can_schedule_events():
+    engine = Engine()
+    log = []
+
+    def chain(depth):
+        log.append(depth)
+        if depth < 3:
+            engine.schedule(10, chain, depth + 1)
+
+    engine.schedule_at(0, chain, 0)
+    engine.run()
+    assert log == [0, 1, 2, 3]
+    assert engine.now == 30
+
+
+def test_step_fires_single_event():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(5, fired.append, "a")
+    engine.schedule_at(6, fired.append, "b")
+    engine.step()
+    assert fired == ["a"]
+    assert engine.pending() == 1
+
+
+def test_advance_rejects_backwards():
+    engine = Engine()
+    engine.advance(10)
+    with pytest.raises(SimulationError):
+        engine.advance(5)
+
+
+def test_processed_events_counter():
+    engine = Engine()
+    for t in range(5):
+        engine.schedule_at(t, lambda: None)
+    engine.run()
+    assert engine.processed_events == 5

@@ -1,0 +1,44 @@
+"""Energy and NUMA extension experiments."""
+
+import pytest
+
+from repro.experiments import energy_study, numa_study
+from repro.experiments.common import Scale
+
+
+class TestEnergyStudy:
+    @pytest.fixture(scope="class")
+    def rw(self):
+        return energy_study.run_read_vs_write(Scale.SMOKE)
+
+    def test_writes_cost_more_than_reads(self, rw):
+        by_name = {row[0]: row[1] for row in rw.rows}
+        assert by_name["sequential-write"] > by_name["sequential-read"]
+        assert by_name["random-write"] > by_name["random-read"]
+
+    def test_random_write_is_worst_case(self, rw):
+        assert rw.metrics["random_write_over_seq_read"] > 10
+
+    def test_lazy_cache_saves_energy(self):
+        result = energy_study.run_lazy_cache_energy(Scale.SMOKE)
+        assert result.metrics["energy_saving"] > 0.3
+        # migration energy eliminated entirely
+        assert result.rows[1][3] < result.rows[0][3]
+
+
+class TestNumaStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return numa_study.run(Scale.SMOKE)
+
+    def test_remote_always_slower(self, result):
+        for row in result.rows:
+            assert row[3] > row[2]
+
+    def test_added_latency_matches_hops(self, result):
+        # two hops plus link occupancy: roughly 140-200ns added
+        assert 100 < result.metrics["nvram_added_ns"] < 300
+
+    def test_relative_penalty_larger_on_dram(self, result):
+        assert result.metrics["dram_remote_penalty"] > \
+            result.metrics["nvram_remote_penalty"]

@@ -1,0 +1,132 @@
+"""Functional layer: read-your-writes and the persistence contract."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vans.functional import FunctionalMemory
+
+
+@pytest.fixture
+def mem():
+    return FunctionalMemory()
+
+
+def test_read_your_write(mem):
+    now = mem.store(0x100, "hello", 0)
+    value, done = mem.load(0x100, now)
+    assert value == "hello"
+    assert done > now
+
+
+def test_unwritten_is_none(mem):
+    value, _ = mem.load(0x500, 0)
+    assert value is None
+
+
+def test_line_granularity(mem):
+    mem.store(0x100, 42, 0)
+    value, _ = mem.load(0x13F, 0)  # same 64B line
+    assert value == 42
+    value, _ = mem.load(0x140, 0)  # next line
+    assert value is None
+
+
+def test_fenced_nt_store_survives_any_crash(mem):
+    now = mem.store(0, "durable", 0, nt=True)
+    mem.fence(now)
+    mem.crash(pending_policy="drop")
+    assert mem.persisted_value(0) == "durable"
+
+
+def test_unfenced_nt_store_is_uncertain(mem):
+    mem.store(0, "maybe", 0, nt=True)
+    mem.crash(pending_policy="drop")
+    assert mem.persisted_value(0) is None
+    mem2 = FunctionalMemory()
+    mem2.store(0, "maybe", 0, nt=True)
+    mem2.crash(pending_policy="keep")
+    assert mem2.persisted_value(0) == "maybe"
+
+
+def test_cached_store_always_lost_on_crash(mem):
+    mem.store(0, "volatile", 0, nt=False)
+    mem.crash(pending_policy="keep")  # even the generous policy
+    assert mem.persisted_value(0) is None
+
+
+def test_flush_plus_fence_makes_cached_store_durable(mem):
+    now = mem.store(0, "v1", 0, nt=False)
+    now = mem.flush_line(0, now)
+    mem.fence(now)
+    mem.crash(pending_policy="drop")
+    assert mem.persisted_value(0) == "v1"
+
+
+def test_flush_of_clean_line_is_free(mem):
+    assert mem.flush_line(0x40, 123) == 123
+
+
+def test_newest_value_wins(mem):
+    now = mem.store(0, "old", 0)
+    now = mem.store(0, "new", now)
+    value, _ = mem.load(0, now)
+    assert value == "new"
+
+
+def test_volatile_shadows_pending_and_persistent(mem):
+    now = mem.store(0, "persisted", 0, nt=True)
+    now = mem.fence(now)
+    mem.store(0, "newer", now, nt=False)
+    value, _ = mem.load(0, now)
+    assert value == "newer"
+    assert mem.persisted_value(0) == "persisted"
+
+
+def test_pending_and_dirty_accounting(mem):
+    mem.store(0, 1, 0, nt=False)
+    mem.store(64, 2, 0, nt=True)
+    assert mem.dirty_volatile_lines == 1
+    assert mem.pending_lines == 1
+    mem.fence(0)
+    assert mem.pending_lines == 0
+
+
+def test_random_crash_is_deterministic_per_seed(mem):
+    for i in range(8):
+        mem.store(i * 64, i, 0, nt=True)
+    import copy
+    survived = []
+    for _ in range(2):
+        clone = FunctionalMemory()
+        for i in range(8):
+            clone.store(i * 64, i, 0, nt=True)
+        clone.crash(pending_policy="random", seed=5)
+        survived.append([clone.persisted_value(i * 64) for i in range(8)])
+    assert survived[0] == survived[1]
+
+
+def test_bad_policy_rejected(mem):
+    with pytest.raises(ValueError):
+        mem.crash(pending_policy="sometimes")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 255), st.integers(0, 10**6),
+                          st.booleans()),
+                min_size=1, max_size=60))
+def test_recovery_matches_fenced_history(ops):
+    """Property: after a crash (worst-case pending drop), every line
+    holds the value of its last *fenced* nt-store."""
+    mem = FunctionalMemory()
+    expected = {}
+    now = 0
+    for line, value, nt in ops:
+        addr = line * 64
+        now = max(now, mem.store(addr, value, now, nt=nt))
+        if nt:
+            now = mem.fence(now)
+            expected[addr] = value
+    mem.crash(pending_policy="drop")
+    for line, _, _ in ops:
+        addr = line * 64
+        assert mem.persisted_value(addr) == expected.get(addr)

@@ -1,0 +1,60 @@
+"""Multi-DIMM interleaving address mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.units import KIB
+from repro.vans.interleave import Interleaver
+
+
+def test_first_4k_on_one_dimm():
+    inter = Interleaver(6, 4 * KIB, True)
+    dimms = {inter.map(addr)[0] for addr in range(0, 4 * KIB, 64)}
+    assert dimms == {0}
+
+
+def test_consecutive_chunks_rotate_dimms():
+    inter = Interleaver(6, 4 * KIB, True)
+    assert [inter.map(i * 4 * KIB)[0] for i in range(8)] == [0, 1, 2, 3, 4, 5, 0, 1]
+
+
+def test_local_addresses_compact():
+    inter = Interleaver(2, 4 * KIB, True)
+    # second chunk on dimm1 starts at local 0
+    assert inter.map(4 * KIB) == (1, 0)
+    # third chunk back on dimm0 at local 4K
+    assert inter.map(8 * KIB) == (0, 4 * KIB)
+
+
+def test_non_interleaved_identity():
+    inter = Interleaver(6, 4 * KIB, False)
+    assert inter.map(123456) == (0, 123456)
+
+
+def test_single_dimm_never_interleaves():
+    inter = Interleaver(1, 4 * KIB, True)
+    assert not inter.interleaved
+
+
+def test_invalid_configs():
+    with pytest.raises(ConfigError):
+        Interleaver(0, 4096, True)
+    with pytest.raises(ConfigError):
+        Interleaver(2, 3000, True)
+
+
+@given(st.integers(0, (1 << 40) - 1), st.sampled_from([2, 4, 6]),
+       st.sampled_from([4 * KIB, 64 * KIB]))
+def test_map_unmap_bijection(addr, ndimms, granularity):
+    inter = Interleaver(ndimms, granularity, True)
+    dimm, local = inter.map(addr)
+    assert 0 <= dimm < ndimms
+    assert inter.unmap(dimm, local) == addr
+
+
+@given(st.integers(0, (1 << 30) - 65), st.sampled_from([2, 6]))
+def test_offsets_within_granule_preserved(addr, ndimms):
+    inter = Interleaver(ndimms, 4 * KIB, True)
+    _, local = inter.map(addr)
+    assert local % (4 * KIB) == addr % (4 * KIB)

@@ -1,0 +1,40 @@
+"""Address-mapping prober: recovering the DIMM-select bits."""
+
+import pytest
+
+from repro.common.units import KIB
+from repro.lens.probers.mapping import MappingProber
+from repro.vans import VansConfig, VansSystem
+
+
+def test_finds_4k_interleave_bits():
+    prober = MappingProber(
+        lambda: VansSystem(VansConfig().with_dimms(6)))
+    report = prober.run()
+    assert report.interleave_granularity == 4 * KIB
+    # bits inside a chunk stay on one DIMM
+    assert 10 not in report.dimm_select_bits
+    assert 12 in report.dimm_select_bits
+
+
+def test_non_interleaved_finds_nothing():
+    prober = MappingProber(lambda: VansSystem())
+    report = prober.run()
+    assert report.dimm_select_bits == []
+    assert report.interleave_granularity == 0
+
+
+def test_coarser_interleave_detected():
+    cfg = VansConfig(ndimms=4, interleaved=True, interleave_bytes=64 * KIB)
+    prober = MappingProber(lambda: VansSystem(cfg), max_bit=20)
+    report = prober.run()
+    assert report.interleave_granularity == 64 * KIB
+
+
+def test_speedups_reported_per_bit():
+    prober = MappingProber(
+        lambda: VansSystem(VansConfig().with_dimms(2)), min_bit=10,
+        max_bit=14)
+    report = prober.run()
+    assert set(report.bit_speedup) == {10, 11, 12, 13, 14}
+    assert report.bit_speedup[12] > report.bit_speedup[10]

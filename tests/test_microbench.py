@@ -1,0 +1,111 @@
+"""LENS microbenchmarks driving VANS."""
+
+import pytest
+
+from repro.common.units import KIB, MIB
+from repro.lens.microbench.overwrite import Overwrite, OverwriteResult
+from repro.lens.microbench.pointer_chasing import PointerChasing
+from repro.lens.microbench.stride import Stride
+from repro.vans import VansConfig, VansSystem
+
+
+class TestPointerChasing:
+    def test_block_order_covers_region(self):
+        pc = PointerChasing(seed=0, max_lines_per_point=10_000)
+        order = pc._block_order(4 * KIB, 64, "x")
+        assert sorted(order) == [i * 64 for i in range(64)]
+
+    def test_block_order_samples_large_regions(self):
+        pc = PointerChasing(seed=0, max_lines_per_point=100)
+        order = pc._block_order(64 * MIB, 64, "x")
+        assert len(order) == 100
+        assert len(set(order)) == 100
+
+    def test_order_is_shuffled(self):
+        pc = PointerChasing(seed=0)
+        order = pc._block_order(16 * KIB, 64, "x")
+        assert order != sorted(order)
+
+    def test_read_latency_tiers(self, vans_factory):
+        pc = PointerChasing(seed=1)
+        small = pc.read_latency_ns(vans_factory(), 4 * KIB)
+        large = pc.read_latency_ns(vans_factory(), 1 * MIB)
+        assert large > 1.5 * small
+
+    def test_write_latency_tiers(self, vans_factory):
+        pc = PointerChasing(seed=1)
+        small = pc.write_latency_ns(vans_factory(), 256)
+        large = pc.write_latency_ns(vans_factory(), 64 * KIB)
+        assert large > 3 * small
+
+    def test_latency_sweep_shapes(self, vans_factory):
+        pc = PointerChasing(seed=1)
+        sweep = pc.latency_sweep(vans_factory, [1 * KIB, 64 * KIB], op="read")
+        assert sweep.xs == [1 * KIB, 64 * KIB]
+        assert sweep.values[1] > sweep.values[0]
+
+    def test_raw_exceeds_rpw_small_region(self, vans_factory):
+        pc = PointerChasing(seed=2)
+        raw, rpw = pc.raw_sweep(vans_factory, [1 * KIB])
+        assert raw.values[0] > 1.5 * rpw.values[0]
+
+
+class TestOverwrite:
+    def test_result_statistics(self):
+        res = OverwriteResult(256, [1.0] * 99 + [100.0])
+        assert res.median_ns == 1.0
+        assert res.tail_indices() == [99]
+        assert res.tail_ratio_permille() == pytest.approx(10.0)
+        assert res.tail_magnitude_ns() == 100.0
+
+    def test_tail_interval(self):
+        res = OverwriteResult(256, [1.0] * 100)
+        res.iteration_ns[10] = 50.0
+        res.iteration_ns[40] = 50.0
+        res.iteration_ns[70] = 50.0
+        assert res.tail_interval() == 30.0
+
+    def test_run_produces_one_time_per_256b(self, vans):
+        ow = Overwrite()
+        res = ow.run(vans, region_bytes=512, iterations=5)
+        assert len(res.iteration_ns) == 10  # 2 chunks x 5 iterations
+
+    def test_migration_tail_detected(self, fast_wear_config):
+        from repro.vans import VansSystem
+        ow = Overwrite()
+        threshold = fast_wear_config.dimm.wear.migrate_threshold
+        res = ow.run(VansSystem(fast_wear_config), region_bytes=256,
+                     iterations=threshold * 2)
+        tails = res.tail_indices()
+        assert tails
+        assert abs(tails[0] - (threshold - 1)) <= 1
+
+
+class TestStride:
+    def test_read_bandwidth_positive(self, vans):
+        bw = Stride().read_bandwidth_gbs(vans, 256 * KIB)
+        assert 0.1 < bw < 50
+
+    def test_window_increases_bandwidth(self, vans_factory):
+        narrow = Stride(read_window=1).read_bandwidth_gbs(
+            vans_factory(), 256 * KIB)
+        wide = Stride(read_window=16).read_bandwidth_gbs(
+            vans_factory(), 256 * KIB)
+        assert wide > narrow
+
+    def test_nt_beats_rfo_on_vans(self, vans_factory):
+        stride = Stride()
+        nt = stride.write_bandwidth_gbs(vans_factory(), 128 * KIB, mode="nt")
+        rfo = stride.write_bandwidth_gbs(vans_factory(), 128 * KIB, mode="rfo")
+        assert nt > rfo
+
+    def test_sequential_write_times_monotone(self, vans_factory):
+        series = Stride().sequential_write_times_us(
+            vans_factory, [1 * KIB, 2 * KIB, 4 * KIB])
+        assert series.values == sorted(series.values)
+
+    def test_strided_write_times(self, vans_factory):
+        series = Stride().strided_write_times_us(
+            vans_factory, 8 * KIB, [64, 256])
+        assert len(series) == 2
+        assert all(v > 0 for v in series.values)

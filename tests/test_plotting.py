@@ -1,0 +1,61 @@
+"""ASCII plotting helpers."""
+
+from repro.engine.stats import LatencySeries
+from repro.experiments.plotting import bar_chart, line_plot, sparkline
+
+
+def series(points):
+    s = LatencySeries("t")
+    for x, y in points:
+        s.add(x, y)
+    return s
+
+
+class TestSparkline:
+    def test_monotone_rise(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] < line[-1]
+        assert len(line) == 4
+
+    def test_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") < lines[1].count("#")
+        assert "2.00" in lines[1]
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["x", "long-label"], [1, 1])
+        lines = chart.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+
+class TestLinePlot:
+    def test_two_series_plot(self):
+        plot = line_plot({
+            "vans": series([(1024, 130), (16384, 130), (1 << 20, 241),
+                            (1 << 26, 343)]),
+            "pmep": series([(1024, 190), (16384, 195), (1 << 20, 210),
+                            (1 << 26, 215)]),
+        })
+        assert "*" in plot and "+" in plot
+        assert "legend:" in plot
+        assert "1K" in plot and "64M" in plot
+
+    def test_empty_and_tiny(self):
+        assert line_plot({}) == ""
+        assert line_plot({"x": series([(1, 1)])}) == ""
+
+    def test_extremes_on_grid_edges(self):
+        plot = line_plot({"s": series([(1, 0.0), (2, 50.0), (3, 100.0)])},
+                         height=5)
+        rows = plot.splitlines()
+        assert "*" in rows[0]       # max on the top row
+        assert "*" in rows[4]       # min on the bottom row

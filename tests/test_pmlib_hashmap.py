@@ -1,0 +1,100 @@
+"""Undo-log hash map: crash atomicity of in-place updates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pmlib import PersistentHashMap
+from repro.vans.functional import FunctionalMemory
+
+
+def crash_during_put(key, old_value, new_value, crash_step, policy):
+    """Install old_value durably, crash inside put(new_value) after
+    protocol step #crash_step, recover; returns the recovered value."""
+    memory = FunctionalMemory()
+    hmap = PersistentHashMap(memory)
+    if old_value is not None:
+        hmap.put(key, old_value)
+    steps = hmap.put_steps(key, new_value)
+    for _ in range(crash_step + 1):
+        next(steps, None)
+    memory.crash(pending_policy=policy)
+    recovered = PersistentHashMap.recover(memory)
+    return recovered.persisted_get(key)
+
+
+class TestBasics:
+    def test_put_get(self):
+        hmap = PersistentHashMap(FunctionalMemory())
+        hmap.put(5, "five")
+        assert hmap.get(5) == "five"
+        assert hmap.get(6) is None
+
+    def test_overwrite(self):
+        hmap = PersistentHashMap(FunctionalMemory())
+        hmap.put(5, "a")
+        hmap.put(5, "b")
+        assert hmap.get(5) == "b"
+
+    def test_bucket_collision_semantics(self):
+        hmap = PersistentHashMap(FunctionalMemory(), nbuckets=4)
+        hmap.put(1, "one")
+        hmap.put(5, "five")  # same bucket: last writer wins
+        assert hmap.get(5) == "five"
+        assert hmap.get(1) is None
+
+    def test_clean_recovery_keeps_data(self):
+        memory = FunctionalMemory()
+        hmap = PersistentHashMap(memory)
+        hmap.put(9, "nine")
+        memory.crash(pending_policy="drop")
+        recovered = PersistentHashMap.recover(memory)
+        assert recovered.persisted_get(9) == "nine"
+
+
+class TestCrashAtomicity:
+    @pytest.mark.parametrize("crash_step", [0, 1, 2])
+    @pytest.mark.parametrize("policy", ["drop", "keep"])
+    def test_update_is_all_or_nothing(self, crash_step, policy):
+        value = crash_during_put(7, "old", "new", crash_step, policy)
+        assert value in ("old", "new")  # never garbage, never half
+
+    def test_crash_before_data_rolls_back(self):
+        assert crash_during_put(7, "old", "new", 0, "drop") == "old"
+
+    def test_crash_after_commit_keeps_new(self):
+        assert crash_during_put(7, "old", "new", 2, "drop") == "new"
+
+    def test_crash_mid_update_rolls_back_via_undo(self):
+        """Data persisted but undo still valid: recovery must undo."""
+        assert crash_during_put(7, "old", "new", 1, "keep") == "old"
+
+    def test_insert_rollback_to_empty(self):
+        value = crash_during_put(3, None, "first", 1, "keep")
+        assert value is None  # rolled back to never-inserted
+
+
+@settings(max_examples=40, deadline=None)
+@given(key=st.integers(0, 63),
+       crash_step=st.integers(0, 2),
+       seed=st.integers(0, 50),
+       n_updates=st.integers(1, 4))
+def test_atomicity_property(key, crash_step, seed, n_updates):
+    """Property: whatever the crash point and partial-persistence
+    outcome, recovery sees one of the committed values."""
+    memory = FunctionalMemory()
+    hmap = PersistentHashMap(memory)
+    committed = []
+    for i in range(n_updates - 1):
+        hmap.put(key, f"v{i}")
+        committed.append(f"v{i}")
+    steps = hmap.put_steps(key, f"v{n_updates - 1}")
+    for _ in range(crash_step + 1):
+        next(steps, None)
+    memory.crash(pending_policy="random", seed=seed)
+    recovered = PersistentHashMap.recover(memory)
+    value = recovered.persisted_get(key)
+    legal = {None} if not committed else {committed[-1]}
+    legal.add(f"v{n_updates - 1}")  # the in-flight value, if committed
+    if committed:
+        legal.discard(None)
+    assert value in legal

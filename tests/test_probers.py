@@ -1,0 +1,126 @@
+"""LENS probers end-to-end against VANS: the reverse-engineering claims.
+
+These are the reproduction's core integration tests — LENS must recover
+the planted microarchitecture parameters from timing alone.
+"""
+
+import pytest
+
+from repro.common.units import KIB, MIB
+from repro.lens.probers.buffer import BufferProber
+from repro.lens.probers.performance import PerformanceProber
+from repro.lens.probers.policy import PolicyProber
+from repro.lens.report import TABLE_I, TABLE_II, characterize
+from repro.vans import VansConfig, VansSystem
+
+CONFIG = VansConfig()
+FACTORY = staticmethod(lambda: VansSystem(CONFIG))
+
+
+@pytest.fixture(scope="module")
+def buffer_report():
+    return BufferProber(lambda: VansSystem(CONFIG)).run()
+
+
+class TestBufferProber:
+    def test_read_capacities_found(self, buffer_report):
+        assert buffer_report.read_capacities == [16 * KIB, 16 * MIB]
+
+    def test_write_capacities_found(self, buffer_report):
+        assert buffer_report.write_capacities == [512, 4 * KIB]
+
+    def test_read_entry_sizes_found(self, buffer_report):
+        assert buffer_report.read_entry_sizes == [256, 4 * KIB]
+
+    def test_write_entry_sizes_found(self, buffer_report):
+        assert buffer_report.write_entry_sizes == [512, 256]
+
+    def test_hierarchy_is_inclusive(self, buffer_report):
+        assert buffer_report.hierarchy == "inclusive"
+
+    def test_levels_property(self, buffer_report):
+        assert buffer_report.levels == 2
+
+
+class TestPolicyProber:
+    @pytest.fixture(scope="class")
+    def policy_report(self, fast_wear_config):
+        prober = PolicyProber(
+            lambda: VansSystem(fast_wear_config),
+            interleaved_factory=lambda: VansSystem(
+                fast_wear_config.with_dimms(6)),
+            overwrite_iterations=fast_wear_config.dimm.wear.migrate_threshold * 6,
+            tail_scan_bytes=fast_wear_config.dimm.wear.migrate_threshold * 384,
+        )
+        return prober.run()
+
+    def test_migration_latency_measured(self, policy_report, fast_wear_config):
+        expected = fast_wear_config.dimm.wear.migration_ps / 1e6
+        assert policy_report.migration_latency_us == pytest.approx(
+            expected, rel=0.15)
+
+    def test_migration_interval_matches_threshold(self, policy_report,
+                                                  fast_wear_config):
+        threshold = fast_wear_config.dimm.wear.migrate_threshold
+        assert policy_report.migration_interval_iters == pytest.approx(
+            threshold, rel=0.1)
+
+    def test_migration_granularity_is_wear_block(self, policy_report,
+                                                 fast_wear_config):
+        assert policy_report.migration_granularity == \
+            fast_wear_config.dimm.wear.block_bytes
+
+    def test_interleave_granularity_detected(self, policy_report):
+        assert policy_report.interleave_granularity == 4 * KIB
+
+    def test_interleaving_speeds_up(self, policy_report):
+        assert policy_report.interleave_speedup > 1.0
+
+
+class TestPerformanceProber:
+    def test_level_latencies_ordered(self):
+        report = PerformanceProber(lambda: VansSystem(CONFIG)).run()
+        lat = report.level_latency_ns
+        assert lat["L1"] < lat["L2"] < lat["media"]
+
+    def test_bandwidths_positive(self):
+        report = PerformanceProber(lambda: VansSystem(CONFIG)).run()
+        assert all(bw > 0 for bw in report.level_bandwidth_gbs.values())
+
+
+class TestCharacterize:
+    @pytest.fixture(scope="class")
+    def chara(self, fast_wear_config):
+        threshold = fast_wear_config.dimm.wear.migrate_threshold
+        return characterize(
+            lambda: VansSystem(fast_wear_config),
+            interleaved_factory=lambda: VansSystem(
+                fast_wear_config.with_dimms(6)),
+            overwrite_iterations=threshold * 4,
+            tail_scan_bytes=threshold * 384,  # 1.5x threshold in 256B units
+        )
+
+    def test_all_parameters_correct(self, chara, fast_wear_config):
+        truth = fast_wear_config.describe()
+        truth["rmw_entry"] = fast_wear_config.dimm.rmw.entry_bytes
+        truth["ait_entry"] = fast_wear_config.dimm.ait.entry_bytes
+        verdicts = chara.compare_to_truth(truth)
+        wrong = [k for k, v in verdicts.items() if not v]
+        assert not wrong, f"LENS mischaracterized: {wrong}"
+
+    def test_render_mentions_key_structures(self, chara):
+        text = chara.render()
+        for token in ("RMW buffer", "AIT buffer", "WPQ", "LSQ",
+                      "inclusive", "wear-leveling"):
+            assert token in text
+
+
+class TestStaticTables:
+    def test_table_i_lens_dominates(self):
+        lens_caps = TABLE_I["rows"]["LENS"]
+        assert all(c == "yes" for c in lens_caps)
+        assert TABLE_I["rows"]["MLC"].count("yes") < len(lens_caps)
+
+    def test_table_ii_covers_all_probers(self):
+        probers = {row[0] for row in TABLE_II}
+        assert probers == {"Buffer", "Policy", "Perf."}

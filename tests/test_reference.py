@@ -1,0 +1,136 @@
+"""Digitized Optane reference model: tiers, orderings, and shapes the
+paper reports must hold by construction."""
+
+import pytest
+
+from repro.common.units import KIB, MIB
+from repro.reference import OptaneReference, SPEC_REFERENCE
+from repro.reference.optane import (
+    OVERWRITE_TAIL_INTERVAL,
+    READ_TIER_AIT_NS,
+    READ_TIER_MEDIA_NS,
+    READ_TIER_RMW_NS,
+)
+
+
+@pytest.fixture
+def ref():
+    return OptaneReference(noise=0.0)
+
+
+class TestReadCurve:
+    def test_three_tiers(self, ref):
+        assert ref.pc_read_latency_ns(1 * KIB) == pytest.approx(READ_TIER_RMW_NS)
+        mid = ref.pc_read_latency_ns(1 * MIB)
+        assert READ_TIER_RMW_NS < mid < READ_TIER_MEDIA_NS
+        big = ref.pc_read_latency_ns(512 * MIB)
+        assert big > READ_TIER_AIT_NS
+
+    def test_monotone_in_region(self, ref):
+        regions = [1 * KIB << i for i in range(0, 18, 2)]
+        values = [ref.pc_read_latency_ns(r) for r in regions]
+        assert values == sorted(values)
+
+    def test_inflections_at_buffer_capacities(self, ref):
+        at_16k = ref.pc_read_latency_ns(16 * KIB)
+        at_64k = ref.pc_read_latency_ns(64 * KIB)
+        assert at_64k / at_16k > 1.3
+
+    def test_block_amortization(self, ref):
+        small_block = ref.pc_read_latency_ns(1 * MIB, block_bytes=64)
+        big_block = ref.pc_read_latency_ns(1 * MIB, block_bytes=256)
+        assert big_block < small_block
+
+    def test_ndimms_scales_reach(self, ref):
+        one = ref.pc_read_latency_ns(64 * KIB, ndimms=1)
+        six = ref.pc_read_latency_ns(64 * KIB, ndimms=6)
+        assert six < one
+
+
+class TestStoreCurve:
+    def test_tiers(self, ref):
+        assert ref.pc_store_latency_ns(256) < ref.pc_store_latency_ns(2 * KIB)
+        assert ref.pc_store_latency_ns(2 * KIB) < ref.pc_store_latency_ns(64 * KIB)
+
+
+class TestRaw:
+    def test_raw_exceeds_r_plus_w_at_small_regions(self, ref):
+        region = 1 * KIB
+        rpw = ref.pc_read_latency_ns(region) + ref.pc_store_latency_ns(region)
+        assert ref.raw_latency_ns(region) > 1.5 * rpw
+
+    def test_raw_converges_at_large_regions(self, ref):
+        region = 16 * MIB
+        rpw = ref.pc_read_latency_ns(region) + ref.pc_store_latency_ns(region)
+        assert ref.raw_latency_ns(region) < 1.15 * rpw
+
+
+class TestAmplification:
+    def test_rmw_score_floors_at_entry(self, ref):
+        assert ref.read_amp_score(64, "rmw") > ref.read_amp_score(256, "rmw")
+        assert ref.read_amp_score(256, "rmw") == pytest.approx(
+            ref.read_amp_score(512, "rmw"), rel=0.1)
+
+
+class TestBandwidth:
+    def test_optane_ordering(self, ref):
+        load = ref.bandwidth_gbs("load")
+        nt = ref.bandwidth_gbs("store-nt")
+        store = ref.bandwidth_gbs("store")
+        assert load > nt > store
+
+    def test_pmep_inverts_nt(self, ref):
+        nt = ref.bandwidth_gbs("store-nt", "pmep-6dimm")
+        store = ref.bandwidth_gbs("store", "pmep-6dimm")
+        assert store > nt
+
+
+class TestOverwrite:
+    def test_tail_every_interval(self, ref):
+        assert ref.overwrite_latency_us(OVERWRITE_TAIL_INTERVAL) > \
+            20 * ref.overwrite_latency_us(1)
+
+    def test_tail_ratio_drops_past_64k(self, ref):
+        assert ref.tail_ratio_permille(64 * KIB) > \
+            3 * ref.tail_ratio_permille(256 * KIB)
+
+
+class TestSpecReference:
+    def test_thirteen_workloads(self):
+        assert len(SPEC_REFERENCE) == 13
+
+    def test_table_iv_values(self, ref):
+        mcf = ref.spec_row("mcf")
+        assert mcf.llc_mpki == 27.1
+        assert mcf.footprint_gb == 9.1
+
+    def test_speedups_below_one(self):
+        assert all(0 < r.nvram_speedup < 1 for r in SPEC_REFERENCE)
+
+    def test_memory_intensity_correlates_with_slowdown(self):
+        """Higher MPKI -> more NVRAM-bound -> lower speedup."""
+        hi = [r.nvram_speedup for r in SPEC_REFERENCE if r.llc_mpki > 20]
+        lo = [r.nvram_speedup for r in SPEC_REFERENCE if r.llc_mpki < 3]
+        assert max(hi) < min(lo)
+
+    def test_unknown_row_raises(self, ref):
+        with pytest.raises(KeyError):
+            ref.spec_row("nope")
+
+
+def test_noise_is_bounded_and_deterministic():
+    a = OptaneReference(noise=0.02, seed=5)
+    b = OptaneReference(noise=0.02, seed=5)
+    va = [a.pc_read_latency_ns(1 * MIB) for _ in range(5)]
+    vb = [b.pc_read_latency_ns(1 * MIB) for _ in range(5)]
+    assert va == vb
+    clean = OptaneReference(noise=0.0).pc_read_latency_ns(1 * MIB)
+    assert all(abs(v - clean) / clean <= 0.021 for v in va)
+
+
+def test_profiles_shape():
+    ref = OptaneReference()
+    redis = ref.redis_profile()
+    assert redis["cpi"][0] == pytest.approx(8.8)
+    ycsb = ref.ycsb_profile()
+    assert ycsb["wear_leveling"][0] == pytest.approx(503.0)

@@ -1,0 +1,34 @@
+"""Memory request type."""
+
+from repro.engine.request import CACHE_LINE, Op, Request
+
+
+def test_op_classification():
+    assert Op.READ.is_read and not Op.READ.is_write
+    assert Op.WRITE.is_write
+    assert Op.WRITE_NT.is_write
+    assert Op.CLWB.is_write
+    assert not Op.FENCE.is_write and not Op.FENCE.is_read
+
+
+def test_latency_property():
+    req = Request(addr=0x1000, issue_ps=100, complete_ps=350)
+    assert req.latency_ps == 250
+
+
+def test_line_addr_alignment():
+    req = Request(addr=0x1234)
+    assert req.line_addr == 0x1234 - (0x1234 % CACHE_LINE)
+    assert req.line_addr % CACHE_LINE == 0
+
+
+def test_request_ids_unique():
+    a, b = Request(addr=0), Request(addr=0)
+    assert a.req_id != b.req_id
+
+
+def test_annotate_lazy_dict():
+    req = Request(addr=0)
+    assert req.meta is None
+    req.annotate("k", 1)
+    assert req.meta == {"k": 1}

@@ -1,0 +1,21 @@
+"""Deterministic RNG streams."""
+
+from repro.common.rng import make_rng
+
+
+def test_same_seed_same_stream():
+    a = make_rng(42, "x")
+    b = make_rng(42, "x")
+    assert [a.random() for _ in range(8)] == [b.random() for _ in range(8)]
+
+
+def test_different_stream_decorrelates():
+    a = make_rng(42, "x")
+    b = make_rng(42, "y")
+    assert [a.random() for _ in range(8)] != [b.random() for _ in range(8)]
+
+
+def test_different_seed_decorrelates():
+    a = make_rng(1, "x")
+    b = make_rng(2, "x")
+    assert [a.random() for _ in range(8)] != [b.random() for _ in range(8)]

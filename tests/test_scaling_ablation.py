@@ -1,0 +1,48 @@
+"""Scaling study and ablation experiments."""
+
+import pytest
+
+from repro.experiments import ablation, scaling
+from repro.experiments.common import Scale
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def read_result(self):
+        return scaling.run_read_scaling(Scale.SMOKE)
+
+    def test_nvram_reads_saturate(self, read_result):
+        """The paper's pathology: NVRAM thread scaling is far from
+        ideal while DRAM keeps scaling."""
+        assert read_result.metrics["nvram_scaling_16t"] < 4.0
+
+    def test_dram_scales_much_better(self, read_result):
+        by_threads = {row[0]: row for row in read_result.rows}
+        dram_scaling = by_threads[16][2] / by_threads[1][2]
+        assert dram_scaling > 2 * read_result.metrics["nvram_scaling_16t"]
+
+    def test_write_bandwidth_flatlines(self):
+        result = scaling.run_write_scaling(Scale.SMOKE)
+        assert result.metrics["nvram_scaling_16t"] < 1.6
+        # per-thread bandwidth collapses
+        first, last = result.rows[0], result.rows[-1]
+        assert last[2] < first[2] / 4
+
+
+class TestAblation:
+    def test_write_combining_matters(self):
+        result = ablation.run_write_combining(Scale.SMOKE)
+        assert result.metrics["combining_gain"] > 1.5
+
+    def test_engine_hold_creates_plateau(self):
+        result = ablation.run_engine_hold(Scale.SMOKE)
+        assert result.metrics["plateau_ratio"] > 1.3
+
+    def test_wear_decay_suppresses_migrations(self):
+        result = ablation.run_wear_decay(Scale.SMOKE)
+        assert result.metrics["plain_migrations"] > \
+            result.metrics["aged_migrations"]
+
+    def test_critical_block_first_saves_latency(self):
+        result = ablation.run_critical_block_first(Scale.SMOKE)
+        assert result.metrics["latency_saving_ns"] > 100

@@ -1,0 +1,80 @@
+"""Config serialization round-trips and validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.units import GIB, KIB
+from repro.vans import VansConfig, VansSystem
+from repro.vans.serialization import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+
+
+def test_dump_contains_headline_parameters():
+    dump = config_to_dict(VansConfig())
+    assert dump["ndimms"] == 1
+    assert dump["dimm"]["rmw"]["entries"] == 64
+    assert dump["dimm"]["ait"]["entry_bytes"] == 4 * KIB
+    assert dump["dimm"]["dram_timing"] == "DDR4-2666"
+
+
+def test_partial_override():
+    cfg = config_from_dict({"ndimms": 6, "interleaved": True,
+                            "dimm": {"rmw": {"entries": 128}}})
+    assert cfg.ndimms == 6
+    assert cfg.dimm.rmw.entries == 128
+    # untouched parameters keep the Optane defaults
+    assert cfg.dimm.ait.entries == 4096
+
+
+def test_unknown_key_rejected():
+    with pytest.raises(ConfigError, match="unknown config key"):
+        config_from_dict({"dimm": {"rnw": {"entries": 1}}})
+    with pytest.raises(ConfigError, match="unknown config key"):
+        config_from_dict({"banana": 3})
+
+
+def test_timing_preset_by_name():
+    cfg = config_from_dict({"dimm": {"dram_timing": "DDR3-1600"}})
+    assert cfg.dimm.dram_timing.name == "DDR3-1600"
+    with pytest.raises(ConfigError, match="preset"):
+        config_from_dict({"dimm": {"dram_timing": "DDR9-9000"}})
+
+
+def test_invariants_still_enforced():
+    """dataclass __post_init__ validation runs on deserialized configs."""
+    with pytest.raises(ConfigError):
+        config_from_dict({"ndimms": 1, "interleaved": True})
+
+
+def test_file_roundtrip(tmp_path):
+    original = VansConfig().with_dimms(6).with_media_capacity(8 * GIB)
+    path = tmp_path / "system.json"
+    save_config(original, path)
+    loaded = load_config(path)
+    assert loaded == original
+
+
+def test_loaded_config_builds_working_system(tmp_path):
+    path = tmp_path / "c.json"
+    path.write_text('{"dimm": {"rmw": {"entries": 32}}}')
+    system = VansSystem(load_config(path))
+    assert system.read(0, 0) > 0
+    assert system.config.dimm.rmw.capacity_bytes == 32 * 256
+
+
+@given(st.integers(1, 6), st.sampled_from([32, 64, 128]),
+       st.sampled_from([1024, 4096]))
+def test_dict_roundtrip_property(ndimms, rmw_entries, ait_entries):
+    cfg = config_from_dict({
+        "ndimms": ndimms,
+        "interleaved": ndimms > 1,
+        "dimm": {"rmw": {"entries": rmw_entries},
+                 "ait": {"entries": ait_entries}},
+    })
+    again = config_from_dict(config_to_dict(cfg))
+    assert again == cfg

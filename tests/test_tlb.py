@@ -1,0 +1,97 @@
+"""TLB hierarchy and page-table walker."""
+
+import pytest
+
+from repro.cpu.tlb import (
+    PAGE_SIZE,
+    STLB_CONFIG,
+    Tlb,
+    TlbConfig,
+    TlbHierarchy,
+    WALK_LEVELS,
+)
+from repro.common.errors import ConfigError
+
+
+def test_config_geometry():
+    assert STLB_CONFIG.entries == 1536
+    assert STLB_CONFIG.nsets == 128
+
+
+def test_invalid_geometry():
+    with pytest.raises(ConfigError):
+        TlbConfig("bad", 63, 4)
+
+
+def test_miss_install_hit():
+    tlb = Tlb(TlbConfig("t", 16, 4))
+    assert not tlb.lookup(0)
+    tlb.install(0)
+    assert tlb.lookup(0)
+    assert tlb.lookup(4095)          # same page
+    assert not tlb.lookup(PAGE_SIZE)  # next page
+
+
+def test_lru_within_set():
+    tlb = Tlb(TlbConfig("t", 16, 4))  # 4 sets
+    set_stride = 4 * PAGE_SIZE
+    for i in range(4):
+        tlb.install(i * set_stride)
+    tlb.lookup(0)
+    tlb.install(4 * set_stride)  # evicts LRU (page 1*stride)
+    assert tlb.lookup(0)
+    assert not tlb.lookup(set_stride)
+
+
+class TestHierarchy:
+    def test_walk_only_on_stlb_miss(self):
+        tlbs = TlbHierarchy()
+        needs_walk, _, addrs = tlbs.translate(0)
+        assert needs_walk
+        assert len(addrs) == WALK_LEVELS
+        tlbs.install(0)
+        needs_walk, _, _ = tlbs.translate(0)
+        assert not needs_walk
+
+    def test_dtlb_miss_stlb_hit_refills_dtlb(self):
+        tlbs = TlbHierarchy()
+        tlbs.install(0)
+        # flush the small DTLB by installing many pages in its set
+        set_stride = tlbs.dtlb.config.nsets * PAGE_SIZE
+        for i in range(1, 6):
+            tlbs.dtlb.install(i * set_stride)
+        before = tlbs.stlb.hits
+        needs_walk, _, _ = tlbs.translate(0)
+        assert not needs_walk
+        assert tlbs.stlb.hits == before + 1
+
+    def test_walk_addresses_share_upper_levels(self):
+        tlbs = TlbHierarchy()
+        a = tlbs.walk_addresses(0)
+        b = tlbs.walk_addresses(PAGE_SIZE)  # adjacent page
+        assert a[:3] == b[:3]      # upper levels identical
+        assert a[3] != b[3]        # leaf PTEs differ
+        # adjacent leaf PTEs share a cache line (8B entries)
+        assert a[3] // 64 == b[3] // 64
+
+    def test_walk_addresses_distinct_levels(self):
+        addrs = TlbHierarchy().walk_addresses(123 * PAGE_SIZE)
+        assert len(set(addrs)) == WALK_LEVELS
+
+    def test_stlb_miss_counter(self):
+        tlbs = TlbHierarchy()
+        tlbs.translate(0)
+        assert tlbs.stlb_misses == 1
+        tlbs.reset_stats()
+        assert tlbs.stlb_misses == 0
+
+    def test_capacity_reach(self):
+        """Regions within the STLB reach never miss twice."""
+        tlbs = TlbHierarchy()
+        npages = 1024  # < 1536 entries, distinct sets balanced
+        for i in range(npages):
+            tlbs.install(i * PAGE_SIZE)
+        misses_before = tlbs.stlb.misses
+        for i in range(npages):
+            tlbs.translate(i * PAGE_SIZE)
+        assert tlbs.stlb.misses == misses_before

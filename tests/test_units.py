@@ -1,0 +1,95 @@
+"""Unit conversions and size/time helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError, ProtocolError, ReproError
+from repro.common.units import (
+    GIB,
+    KIB,
+    MIB,
+    MS,
+    NS,
+    SEC,
+    US,
+    align_down,
+    align_up,
+    freq_mhz_to_period_ps,
+    is_power_of_two,
+    ns_to_ps,
+    pretty_size,
+    pretty_time,
+    ps_to_ns,
+    ps_to_us,
+)
+
+
+def test_size_constants_chain():
+    assert KIB == 1024
+    assert MIB == 1024 * KIB
+    assert GIB == 1024 * MIB
+
+
+def test_time_constants_chain():
+    assert US == 1000 * NS
+    assert MS == 1000 * US
+    assert SEC == 1000 * MS
+
+
+def test_ns_ps_roundtrip():
+    assert ns_to_ps(1.5) == 1500
+    assert ps_to_ns(1500) == 1.5
+    assert ps_to_us(2_500_000) == 2.5
+
+
+def test_freq_conversion_ddr4():
+    # the DDR4-2666 clock runs at 1333MHz -> tCK 750ps
+    assert freq_mhz_to_period_ps(1333.3333) == 750
+
+
+def test_freq_conversion_cpu():
+    assert freq_mhz_to_period_ps(2200) == 455
+
+
+def test_align_down_up():
+    assert align_down(1000, 256) == 768
+    assert align_up(1000, 256) == 1024
+    assert align_down(1024, 256) == 1024
+    assert align_up(1024, 256) == 1024
+
+
+@given(st.integers(min_value=0, max_value=1 << 48),
+       st.sampled_from([64, 256, 4096, 65536]))
+def test_align_properties(value, alignment):
+    down = align_down(value, alignment)
+    up = align_up(value, alignment)
+    assert down <= value <= up
+    assert down % alignment == 0
+    assert up % alignment == 0
+    assert up - down in (0, alignment)
+
+
+def test_is_power_of_two():
+    assert is_power_of_two(1)
+    assert is_power_of_two(4096)
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(3)
+    assert not is_power_of_two(-8)
+
+
+def test_pretty_size():
+    assert pretty_size(512) == "512"
+    assert pretty_size(16 * KIB) == "16K"
+    assert pretty_size(4 * MIB) == "4M"
+    assert pretty_size(2 * GIB) == "2G"
+
+
+def test_pretty_time():
+    assert pretty_time(1500) == "1.5ns"
+    assert pretty_time(2 * US) == "2.000us"
+    assert pretty_time(3 * MS) == "3.000ms"
+
+
+def test_error_hierarchy():
+    assert issubclass(ConfigError, ReproError)
+    assert issubclass(ProtocolError, ReproError)

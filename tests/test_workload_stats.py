@@ -1,0 +1,77 @@
+"""Trace statistics and generator-profile checks."""
+
+import pytest
+
+from repro.cpu.system import MemOp
+from repro.workloads import (
+    fio_write_trace,
+    linkedlist_trace,
+    redis_trace,
+    spec_trace,
+    ycsb_trace,
+)
+from repro.workloads.spec import spec_workload
+from repro.workloads.stats import analyze
+
+
+def test_counts_basic():
+    stats = analyze([
+        MemOp(nonmem=10, vaddr=0),
+        MemOp(nonmem=10, vaddr=64, is_write=True, persistent=True),
+        MemOp(nonmem=10, vaddr=0, dependent=True),
+    ])
+    assert stats.ops == 3
+    assert stats.instructions == 33
+    assert stats.writes == 1
+    assert stats.persistent_writes == 1
+    assert stats.unique_lines == 2
+    assert stats.write_fraction == pytest.approx(1 / 3)
+    assert stats.dependent_fraction == pytest.approx(1 / 2)
+
+
+def test_empty_trace():
+    stats = analyze([])
+    assert stats.ops == 0
+    assert stats.write_fraction == 0.0
+    assert stats.mem_ratio == 0.0
+
+
+def test_fio_is_all_persistent_writes():
+    stats = analyze(fio_write_trace(500))
+    assert stats.write_fraction == 1.0
+    assert stats.persistent_writes == stats.ops
+
+
+def test_linkedlist_is_all_dependent():
+    stats = analyze(linkedlist_trace(500))
+    assert stats.write_fraction == 0.0
+    assert stats.dependent_fraction == 1.0
+
+
+def test_linkedlist_mkpt_counted():
+    stats = analyze(linkedlist_trace(200, mkpt=True))
+    assert stats.mkpt_hints == 200
+
+
+def test_ycsb_hot_line_concentration():
+    stats = analyze(ycsb_trace(8000))
+    assert stats.top_line_share > 0.02  # zipf: one key dominates
+
+
+def test_spec_write_fractions_match_profiles():
+    for name in ("gcc", "lbm"):
+        wl = spec_workload(name)
+        stats = analyze(spec_trace(name, 6000))
+        assert stats.write_fraction == pytest.approx(wl.write_frac, abs=0.05)
+
+
+def test_redis_read_mostly():
+    stats = analyze(redis_trace(3000))
+    assert stats.write_fraction < 0.1
+    assert stats.dependent_fraction > 0.4
+
+
+def test_render_mentions_fields():
+    text = analyze(linkedlist_trace(50)).render()
+    assert "footprint" in text
+    assert "dependent" in text
