@@ -31,11 +31,16 @@ class SlowDramSystem(TargetSystem):
                                capacity_bytes=capacity_bytes)
         self.frontend_ps = frontend_ps
         self.name = name
+        self.stats = self.dram.stats
+        self._c_reads = self.stats.counter("slowdram.reads")
+        self._c_writes = self.stats.counter("slowdram.writes")
 
     def read(self, addr: int, now: int) -> int:
+        self._c_reads.add()
         return self.dram.access(addr, False, now + self.frontend_ps)
 
     def write(self, addr: int, now: int) -> int:
+        self._c_writes.add()
         return self.dram.access(addr, True, now + self.frontend_ps)
 
     def fence(self, now: int) -> int:

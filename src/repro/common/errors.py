@@ -20,3 +20,29 @@ class ProtocolError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation reached an impossible or deadlocked state."""
+
+
+class UnknownTargetError(ReproError):
+    """A target-system name not present in the target registry.
+
+    Carries the unknown name and the sorted list of known names so
+    callers (library users and CLIs alike) can render a helpful message;
+    CLIs translate this to exit code 2.
+    """
+
+    def __init__(self, name: str, known=()):
+        self.name = name
+        self.known = sorted(known)
+        choices = ", ".join(self.known) or "(none registered)"
+        super().__init__(f"unknown target {name!r}; choose from: {choices}")
+
+
+class UnknownExperimentError(ReproError):
+    """An experiment id not present in the experiment registry."""
+
+    def __init__(self, name: str, known=()):
+        self.name = name
+        self.known = sorted(known)
+        choices = ", ".join(self.known) or "(none registered)"
+        super().__init__(f"unknown experiment {name!r}; "
+                         f"known experiments: {choices}")

@@ -57,6 +57,15 @@ class Server:
         """Fraction of ``elapsed`` spent busy (0 if no time passed)."""
         return self.total_busy / elapsed if elapsed > 0 else 0.0
 
+    def publish(self, bus, prefix: str) -> None:
+        """Register pull-gauges for this server on an instrument bus.
+
+        Gauges are evaluated only at snapshot time, so publishing adds
+        zero cost to the serve path.
+        """
+        bus.gauge(f"{prefix}.served", lambda: self.served)
+        bus.gauge(f"{prefix}.busy_ps", lambda: self.total_busy)
+
 
 class BankedServer:
     """A set of independent FCFS servers indexed by bank number."""
@@ -83,6 +92,15 @@ class BankedServer:
     @property
     def served(self) -> int:
         return sum(bank.served for bank in self.banks)
+
+    @property
+    def total_busy(self) -> int:
+        return sum(bank.total_busy for bank in self.banks)
+
+    def publish(self, bus, prefix: str) -> None:
+        """Register aggregate pull-gauges across all banks."""
+        bus.gauge(f"{prefix}.served", lambda: self.served)
+        bus.gauge(f"{prefix}.busy_ps", lambda: self.total_busy)
 
 
 class FcfsStation:
@@ -155,3 +173,9 @@ class FcfsStation:
         self.admitted = 0
         self.total_wait = 0
         self.peak_occupancy = 0
+
+    def publish(self, bus, prefix: str) -> None:
+        """Register pull-gauges: admissions, blocked time, peak occupancy."""
+        bus.gauge(f"{prefix}.admitted", lambda: self.admitted)
+        bus.gauge(f"{prefix}.blocked_ps", lambda: self.total_wait)
+        bus.gauge(f"{prefix}.peak_occupancy", lambda: self.peak_occupancy)

@@ -15,35 +15,23 @@ behaviour disappears:
 
 from __future__ import annotations
 
-from dataclasses import replace
-
+from repro import registry
 from repro.common.units import KIB
 from repro.engine.request import CACHE_LINE
 from repro.experiments.common import ExperimentResult, Scale
 from repro.lens.microbench.pointer_chasing import PointerChasing
 from repro.lens.microbench.stride import Stride
 from repro.media.wear import WearConfig, WearLeveler
-from repro.vans import VansConfig, VansSystem
-
-
-def _with_combine_window(cfg: VansConfig, window_ps: int) -> VansConfig:
-    lsq = replace(cfg.dimm.lsq, combine_window_ps=window_ps)
-    return replace(cfg, dimm=replace(cfg.dimm, lsq=lsq))
-
-
-def _with_engine_hold(cfg: VansConfig, hold: bool) -> VansConfig:
-    timing = replace(cfg.dimm.timing, engine_holds_partial=hold)
-    return replace(cfg, dimm=replace(cfg.dimm, timing=timing))
+from repro.vans import VansConfig
 
 
 def run_write_combining(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     """Sequential write bandwidth with and without LSQ combining."""
     stride = Stride()
     total = 128 * KIB if scale is Scale.SMOKE else 1024 * KIB
-    base = VansConfig()
-    with_wc = stride.write_bandwidth_gbs(VansSystem(base), total)
+    with_wc = stride.write_bandwidth_gbs(registry.build("vans"), total)
     without = stride.write_bandwidth_gbs(
-        VansSystem(_with_combine_window(base, 0)), total)
+        registry.build("vans", combine_window_ps=0), total)
     result = ExperimentResult(
         "ablation-combining", "LSQ write combining: seq nt-store bandwidth",
         columns=["configuration", "GB/s"],
@@ -60,10 +48,9 @@ def run_engine_hold(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     """Random-store plateau with and without the serial RMW engine."""
     pc = PointerChasing(seed=21)
     region = 64 * KIB
-    base = VansConfig()
-    held = pc.write_latency_ns(VansSystem(base), region)
+    held = pc.write_latency_ns(registry.build("vans"), region)
     released = pc.write_latency_ns(
-        VansSystem(_with_engine_hold(base, False)), region)
+        registry.build("vans", engine_holds_partial=False), region)
     result = ExperimentResult(
         "ablation-engine-hold",
         "serial RMW engine: random 64B store latency at 64KB region",

@@ -10,15 +10,14 @@ their parts because of bus redirection and queue under-utilization.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
-from repro.baselines.slow_dram import ramulator_ddr4
+from repro import registry
 from repro.common.rng import make_rng
 from repro.common.units import MIB
 from repro.engine.request import CACHE_LINE
 from repro.experiments.common import ExperimentResult, Scale
 from repro.target import TargetSystem
-from repro.vans import VansSystem
 
 FOOTPRINT = 64 * MIB
 
@@ -60,7 +59,9 @@ def _stream_bw(target: TargetSystem, nops: int, pattern: str, op: str,
 
 
 def run(scale: Scale = Scale.SMOKE,
-        factory: Callable[[], TargetSystem] = VansSystem) -> ExperimentResult:
+        factory: Optional[Callable[[], TargetSystem]] = None
+        ) -> ExperimentResult:
+    factory = factory or registry.factory("vans")
     nops = 1200 if scale is Scale.SMOKE else 8000
     patterns = ("seq", "rand")
     ops = ("read", "write", "mixed")
@@ -73,8 +74,9 @@ def run(scale: Scale = Scale.SMOKE,
     for pattern in patterns:
         for op in ops:
             nv = _stream_bw(factory(), nops, pattern, op, seed=51)
-            dr = _stream_bw(ramulator_ddr4(frontend_ps=30_000), nops,
-                            pattern, op, seed=51)
+            dr = _stream_bw(
+                registry.build("ramulator-ddr4", frontend_ps=30_000), nops,
+                pattern, op, seed=51)
             cells[(pattern, op)] = nv
             result.add_row(pattern, op, nv, dr)
 

@@ -11,15 +11,16 @@ from __future__ import annotations
 from repro.common.units import pretty_size
 from repro.experiments.common import ExperimentResult, Scale
 from repro.lens.report import characterize
-from repro.vans import VansConfig, VansSystem
+from repro import registry
+from repro.vans import VansConfig
 
 
 def run(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     config = VansConfig()
     iterations = 32000 if scale is Scale.SMOKE else 120000
     chara = characterize(
-        lambda: VansSystem(config),
-        interleaved_factory=lambda: VansSystem(config.with_dimms(6)),
+        registry.factory("vans", config=config),
+        interleaved_factory=registry.factory("vans-6dimm", config=config),
         overwrite_iterations=iterations,
     )
     truth = config.describe()

@@ -32,6 +32,10 @@ class ExperimentResult:
     series: Dict[str, LatencySeries] = field(default_factory=dict)
     metrics: Dict[str, float] = field(default_factory=dict)
     notes: str = ""
+    #: merged observability snapshot of every registry-built system the
+    #: experiment used (``dotted.path -> number``); attached by the
+    #: runner, deterministic (no wall-clock data ever lands here).
+    instrumentation: Dict[str, float] = field(default_factory=dict)
 
     def add_row(self, *values) -> None:
         self.rows.append(tuple(values))

@@ -13,12 +13,11 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro import registry
 from repro.common.rng import make_rng
 from repro.common.units import KIB, MIB
 from repro.energy import energy_of
 from repro.experiments.common import ExperimentResult, Scale
-from repro.media.wear import WearConfig
-from repro.vans import VansConfig, VansSystem
 
 
 def run_read_vs_write(scale: Scale = Scale.SMOKE) -> ExperimentResult:
@@ -36,7 +35,7 @@ def run_read_vs_write(scale: Scale = Scale.SMOKE) -> ExperimentResult:
         columns=["pattern", "uJ/MB", "media-write share"],
     )
     for name, (kind, addr_fn) in patterns.items():
-        system = VansSystem()
+        system = registry.build("vans")
         now = 0
         for i in range(nops):
             addr = addr_fn(i)
@@ -61,10 +60,8 @@ def run_lazy_cache_energy(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     iters = threshold * (4 if scale is Scale.SMOKE else 12)
 
     def run(lazy: bool):
-        cfg = VansConfig().with_lazy_cache(lazy)
-        cfg = replace(cfg, dimm=replace(
-            cfg.dimm, wear=WearConfig(migrate_threshold=threshold)))
-        system = VansSystem(cfg)
+        system = registry.build("vans", lazy_cache=lazy,
+                                migrate_threshold=threshold)
         now = 0
         for _ in range(iters):
             for line in range(0, 256, 64):

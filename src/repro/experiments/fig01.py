@@ -15,13 +15,11 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.baselines.pmep import PMEPModel
+from repro import registry
 from repro.common.units import KIB, MIB
 from repro.experiments.common import ExperimentResult, Scale
 from repro.lens.microbench.pointer_chasing import PointerChasing
 from repro.lens.microbench.stride import Stride
-from repro.reference import OptaneReference
-from repro.vans import VansSystem
 
 OPS = ["load", "store", "store-clwb", "store-nt"]
 
@@ -32,12 +30,12 @@ def run_bandwidth(scale: Scale = Scale.SMOKE) -> ExperimentResult:
         "fig1a", "single-thread bandwidth (GB/s)",
         columns=["op", "pmep", "optane(ref)"],
     )
-    ref = OptaneReference()
+    ref = registry.build("optane-ref")
     total = (4 if scale is Scale.SMOKE else 32) * MIB
     stride = Stride(read_window=16)
 
     for op in OPS:
-        pmep = PMEPModel()
+        pmep = registry.build("pmep")
         if op == "load":
             pmep_bw = stride.read_bandwidth_gbs(pmep, total)
         elif op == "store-nt":
@@ -69,10 +67,10 @@ def run_latency(scale: Scale = Scale.SMOKE) -> ExperimentResult:
         regions = [64 * (1 << i) for i in range(0, 23, 2)]
         regions = [max(r, 1 * KIB) for r in regions]
     pc = PointerChasing(seed=1)
-    ref = OptaneReference()
+    ref = registry.build("optane-ref")
 
-    pmep_series = pc.latency_sweep(lambda: PMEPModel(), regions, op="read")
-    vans_series = pc.latency_sweep(lambda: VansSystem(), regions, op="read")
+    pmep_series = pc.latency_sweep(registry.factory("pmep"), regions, op="read")
+    vans_series = pc.latency_sweep(registry.factory("vans"), regions, op="read")
 
     result = ExperimentResult(
         "fig1b", "pointer-chasing read latency per CL (ns)",

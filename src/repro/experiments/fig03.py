@@ -11,24 +11,18 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.baselines.slow_dram import (
-    SlowDramSystem,
-    dramsim2_ddr3,
-    ramulator_ddr4,
-    ramulator_pcm,
-)
+from repro import registry
+from repro.baselines.slow_dram import SlowDramSystem
 from repro.common.units import KIB, MIB
 from repro.experiments.common import ExperimentResult, Scale
 from repro.lens.analysis import accuracy
 from repro.lens.microbench.pointer_chasing import PointerChasing
 from repro.lens.microbench.stride import Stride
 from repro.reference import OptaneReference
-from repro.vans import VansSystem
 
 SIMULATORS: Dict[str, Callable[[], SlowDramSystem]] = {
-    "dramsim2-ddr3": dramsim2_ddr3,
-    "ramulator-ddr4": ramulator_ddr4,
-    "ramulator-pcm": ramulator_pcm,
+    name: registry.factory(name)
+    for name in ("dramsim2-ddr3", "ramulator-ddr4", "ramulator-pcm")
 }
 
 
@@ -56,7 +50,7 @@ def run_accuracy(scale: Scale = Scale.SMOKE) -> ExperimentResult:
         regions = [64 * (1 << i) for i in range(4, 21, 1)]
     pc = PointerChasing(seed=3)
     stride = Stride()
-    ref = OptaneReference(noise=0.0)
+    ref = registry.build("optane-ref", noise=0.0)
 
     result = ExperimentResult(
         "fig3a", "simulator accuracy vs Optane (higher is better)",
@@ -65,7 +59,7 @@ def run_accuracy(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     for name, factory in SIMULATORS.items():
         accs = _metrics_for(factory, regions, pc, stride, ref)
         result.add_row(name, *accs, sum(accs) / len(accs))
-    vans_accs = _metrics_for(lambda: VansSystem(), regions, pc, stride, ref)
+    vans_accs = _metrics_for(registry.factory("vans"), regions, pc, stride, ref)
     result.add_row("vans", *vans_accs, sum(vans_accs) / len(vans_accs))
     result.metrics["vans_minus_best_baseline"] = (
         sum(vans_accs) / 4
@@ -80,8 +74,8 @@ def run_pcm_latency(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     """Fig. 3b: Ramulator-PCM vs Optane pointer-chasing latency."""
     regions = [256, 1 * KIB, 4 * KIB, 8 * KIB, 16 * KIB, 32 * KIB, 64 * KIB]
     pc = PointerChasing(seed=4)
-    ref = OptaneReference()
-    pcm = pc.latency_sweep(ramulator_pcm, regions, op="read")
+    ref = registry.build("optane-ref")
+    pcm = pc.latency_sweep(registry.factory("ramulator-pcm"), regions, op="read")
     result = ExperimentResult(
         "fig3b", "PtrChasing read latency per CL (ns): Ramulator-PCM vs Optane",
         columns=["region", "ramulator-pcm", "optane(ref)"],

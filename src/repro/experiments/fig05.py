@@ -23,7 +23,7 @@ from repro.experiments.common import ExperimentResult, Scale
 from repro.lens.analysis import find_inflections
 from repro.lens.microbench.pointer_chasing import PointerChasing
 from repro.lens.probers.buffer import DEFAULT_READ_REGIONS, DEFAULT_WRITE_REGIONS
-from repro.vans import VansSystem
+from repro import registry
 
 
 def _regions(scale: Scale) -> List[int]:
@@ -39,7 +39,7 @@ def run_latency(scale: Scale = Scale.SMOKE, block: int = 64
     regions = _regions(scale)
     write_regions = list(DEFAULT_WRITE_REGIONS)
     pc = PointerChasing(seed=5)
-    factory = lambda: VansSystem()  # noqa: E731
+    factory = registry.factory("vans")
 
     ld = pc.latency_sweep(factory, regions, block=block, op="read")
     st = pc.latency_sweep(factory, write_regions, block=block, op="write")
@@ -68,7 +68,7 @@ def run_raw(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     if scale is Scale.SMOKE:
         regions = [1 * KIB, 4 * KIB, 64 * KIB, 1 * MIB, 8 * MIB, 32 * MIB]
     pc = PointerChasing(seed=6)
-    raw, rpw = pc.raw_sweep(lambda: VansSystem(), regions)
+    raw, rpw = pc.raw_sweep(registry.factory("vans"), regions)
     result = ExperimentResult(
         "fig5c", "read-after-write roundtrip vs R+W (ns per CL)",
         columns=["region", "RaW", "R+W", "RaW/R+W"],

@@ -13,7 +13,7 @@ from repro.common.units import KIB, MIB
 from repro.experiments.common import ExperimentResult, Scale
 from repro.lens.analysis import amplification_scores, excess_knee
 from repro.lens.microbench.pointer_chasing import PointerChasing
-from repro.vans import VansSystem
+from repro import registry
 
 READ_LEVELS = {
     "rmw": dict(overflow=1 * MIB, fit=4 * KIB,
@@ -30,7 +30,7 @@ WRITE_LEVELS = {
 def run_read(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     """Fig. 6a: read amplification scores."""
     pc = PointerChasing(seed=7)
-    factory = lambda: VansSystem()  # noqa: E731
+    factory = registry.factory("vans")
     result = ExperimentResult(
         "fig6a", "read amplification scores",
         columns=["level", "block", "score"],
@@ -51,7 +51,7 @@ def run_read(scale: Scale = Scale.SMOKE) -> ExperimentResult:
 def run_write(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     """Fig. 6b: write amplification scores."""
     pc = PointerChasing(seed=8)
-    factory = lambda: VansSystem()  # noqa: E731
+    factory = registry.factory("vans")
     result = ExperimentResult(
         "fig6b", "write amplification scores",
         columns=["level", "block", "score"],

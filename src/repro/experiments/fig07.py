@@ -18,7 +18,7 @@ from repro.experiments.common import ExperimentResult, Scale
 from repro.lens.analysis import detect_drop, detect_period
 from repro.lens.microbench.overwrite import Overwrite
 from repro.lens.microbench.stride import Stride
-from repro.vans import VansConfig, VansSystem
+from repro import registry
 
 
 def run_interleaving(scale: Scale = Scale.SMOKE) -> ExperimentResult:
@@ -26,9 +26,9 @@ def run_interleaving(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     step = 1 * KIB if scale is Scale.SMOKE else 512
     sizes = list(range(step, 16 * KIB + 1, step))
     stride = Stride()
-    single = stride.sequential_write_times_us(lambda: VansSystem(), sizes)
+    single = stride.sequential_write_times_us(registry.factory("vans"), sizes)
     inter = stride.sequential_write_times_us(
-        lambda: VansSystem(VansConfig().with_dimms(6)), sizes)
+        registry.factory("vans-6dimm"), sizes)
     result = ExperimentResult(
         "fig7a", "sequential write execution time (us)",
         columns=["size", "1 dimm", "6 dimms"],
@@ -47,7 +47,7 @@ def run_tail_latency(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     """Fig. 7b: overwrite tail latency (256B region)."""
     iterations = 32000 if scale is Scale.SMOKE else 200000
     ow = Overwrite()
-    res = ow.run(VansSystem(), region_bytes=256, iterations=iterations)
+    res = ow.run(registry.build("vans"), region_bytes=256, iterations=iterations)
     tails = res.tail_indices()
     result = ExperimentResult(
         "fig7b", "256B overwrite: per-write latency tails",
@@ -71,7 +71,7 @@ def run_tail_ratio(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     regions = [256, 1 * KIB, 8 * KIB, 64 * KIB, 128 * KIB, 512 * KIB]
     total = (6 if scale is Scale.SMOKE else 32) * 1024 * 1024
     ow = Overwrite()
-    scan = ow.tail_scan(lambda: VansSystem(), regions, total_bytes=total)
+    scan = ow.tail_scan(registry.factory("vans"), regions, total_bytes=total)
     result = ExperimentResult(
         "fig7c", "ratio of long-tail writes (per mille) vs region",
         columns=["region", "tail ratio (permille)"],

@@ -19,12 +19,11 @@ from repro.lens.analysis import accuracy
 from repro.lens.microbench.overwrite import Overwrite
 from repro.lens.microbench.pointer_chasing import PointerChasing
 from repro.lens.microbench.stride import Stride
-from repro.reference import OptaneReference
 from repro.reference.optane import (
     OVERWRITE_TAIL_INTERVAL,
     OVERWRITE_TAIL_US,
 )
-from repro.vans import VansConfig, VansSystem
+from repro import registry
 
 
 def _regions(scale: Scale) -> List[int]:
@@ -39,9 +38,8 @@ def run_latency(scale: Scale = Scale.SMOKE, ndimms: int = 1
     """Fig. 9a (ndimms=1) / 9b (ndimms=6): VANS vs Optane latency."""
     regions = _regions(scale)
     pc = PointerChasing(seed=9)
-    ref = OptaneReference(noise=0.0)
-    factory = (lambda: VansSystem(VansConfig().with_dimms(ndimms))
-               if ndimms > 1 else VansSystem())
+    ref = registry.build("optane-ref", noise=0.0)
+    factory = registry.factory("vans", ndimms=ndimms)
 
     vans_ld = pc.latency_sweep(factory, regions, op="read")
     st_regions = [r for r in regions if r <= 1 * MIB] or regions[:4]
@@ -82,7 +80,7 @@ def run_read_amplification(scale: Scale = Scale.SMOKE) -> ExperimentResult:
         columns=["region", "vans amplification", "expected"],
     )
     for region in regions:
-        system = VansSystem()
+        system = registry.build("vans")
         pc.read_latency_ns(system, region)
         measured = system.rmw_read_amplification
         expected = 4.0 * max(0.0, 1.0 - min(1.0, 16 * KIB / region))
@@ -95,7 +93,7 @@ def run_read_amplification(scale: Scale = Scale.SMOKE) -> ExperimentResult:
 def run_overwrite(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     """Fig. 9d: overwrite tail latency, VANS vs the measured behaviour."""
     iterations = 32000 if scale is Scale.SMOKE else 120000
-    res = Overwrite().run(VansSystem(), region_bytes=256,
+    res = Overwrite().run(registry.build("vans"), region_bytes=256,
                           iterations=iterations)
     tails = res.tail_indices()
     interval = res.tail_interval() or (float(tails[0]) if tails else 0.0)
@@ -117,8 +115,8 @@ def run_accuracy(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     regions = _regions(scale)
     pc = PointerChasing(seed=11)
     stride = Stride()
-    ref = OptaneReference(noise=0.0)
-    factory = lambda: VansSystem()  # noqa: E731
+    ref = registry.build("optane-ref", noise=0.0)
+    factory = registry.factory("vans")
 
     lat_ld = pc.latency_sweep(factory, regions, op="read")
     st_regions = [r for r in regions if r <= 1 * MIB] or regions[:4]

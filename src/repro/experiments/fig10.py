@@ -14,7 +14,7 @@ from typing import List
 from repro.common.units import GIB, KIB, MIB
 from repro.experiments.common import ExperimentResult, Scale
 from repro.lens.microbench.pointer_chasing import PointerChasing
-from repro.vans import VansConfig, VansSystem
+from repro import registry
 
 
 def _regions(scale: Scale) -> List[int]:
@@ -33,9 +33,9 @@ def run_capacity(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     )
     curves = {}
     for gb in (2, 4, 8, 16):
-        cfg = VansConfig().with_media_capacity(gb * GIB)
-        curves[gb] = pc.latency_sweep(lambda c=cfg: VansSystem(c), regions,
-                                      op="read")
+        curves[gb] = pc.latency_sweep(
+            registry.factory("vans", media_capacity=gb * GIB), regions,
+            op="read")
         result.series[f"{gb}GB"] = curves[gb]
     for i, region in enumerate(regions):
         result.add_row(region, *(curves[g].values[i] for g in (2, 4, 8, 16)))
@@ -59,9 +59,8 @@ def run_dimm_count(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     )
     curves = {}
     for n in counts:
-        cfg = VansConfig().with_dimms(n)
-        curves[n] = pc.latency_sweep(lambda c=cfg: VansSystem(c), regions,
-                                     op="read")
+        curves[n] = pc.latency_sweep(
+            registry.factory("vans", ndimms=n), regions, op="read")
         result.series[f"{n}dimm"] = curves[n]
     for i, region in enumerate(regions):
         result.add_row(region, *(curves[n].values[i] for n in counts))

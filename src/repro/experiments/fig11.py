@@ -15,12 +15,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.baselines.slow_dram import ramulator_ddr4, ramulator_pcm
+from repro import registry
 from repro.cpu import FullSystem
 from repro.experiments.common import ExperimentResult, Scale
 from repro.lens.analysis import geomean
 from repro.reference import SPEC_REFERENCE
-from repro.vans import VansConfig, VansSystem
 from repro.workloads import spec_trace
 
 DEFAULT_WORKLOADS = [row.name for row in SPEC_REFERENCE]
@@ -58,12 +57,13 @@ def run(scale: Scale = Scale.SMOKE,
 
     for name in workloads:
         ref = by_name[name]
-        dram = _run_backend(name, lambda: ramulator_ddr4(frontend_ps=30_000),
-                            nops, warmup)
-        vans = _run_backend(
-            name, lambda: VansSystem(VansConfig().with_dimms(6)), nops, warmup)
-        pcm = _run_backend(name, lambda: ramulator_pcm(frontend_ps=30_000),
-                           nops, warmup)
+        dram = _run_backend(
+            name, registry.factory("ramulator-ddr4", frontend_ps=30_000),
+            nops, warmup)
+        vans = _run_backend(name, registry.factory("vans-6dimm"), nops, warmup)
+        pcm = _run_backend(
+            name, registry.factory("ramulator-pcm", frontend_ps=30_000),
+            nops, warmup)
 
         vans_speedup = dram.elapsed_ps / vans.elapsed_ps
         pcm_speedup = dram.elapsed_ps / pcm.elapsed_ps

@@ -13,22 +13,18 @@ billions of instructions; we preserve the writes-per-migration ratio).
 
 from __future__ import annotations
 
-from dataclasses import replace
-
+from repro import registry
 from repro.cpu import FullSystem
 from repro.experiments.common import ExperimentResult, Scale
-from repro.media.wear import WearConfig
-from repro.vans import VansConfig, VansSystem
+from repro.vans import VansSystem
 from repro.workloads import redis_trace, ycsb_trace
 
 
 def _scaled_vans(track_line_wear: bool = False,
                  migrate_threshold: int = 300) -> VansSystem:
     """VANS with wear thresholds scaled to trace-sized runs."""
-    cfg = VansConfig()
-    wear = WearConfig(migrate_threshold=migrate_threshold)
-    cfg = replace(cfg, dimm=replace(cfg.dimm, wear=wear))
-    return VansSystem(cfg, track_line_wear=track_line_wear)
+    return registry.build("vans", track_line_wear=track_line_wear,
+                          migrate_threshold=migrate_threshold)
 
 
 def run_redis(scale: Scale = Scale.SMOKE) -> ExperimentResult:

@@ -11,15 +11,14 @@ Wear thresholds are scaled to trace length as in Figure 12.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, List, Optional
 
+from repro import registry
 from repro.cpu import FullSystem, SystemReport
 from repro.experiments.common import ExperimentResult, Scale
 from repro.lens.analysis import geomean
-from repro.media.wear import WearConfig
 from repro.optim import PreTranslation
-from repro.vans import VansConfig, VansSystem
+from repro.vans import VansSystem
 from repro.workloads import CLOUD_WORKLOADS
 
 DEFAULT_WORKLOADS = ["fio-write", "ycsb", "tpcc", "hashmap", "redis",
@@ -27,10 +26,8 @@ DEFAULT_WORKLOADS = ["fio-write", "ycsb", "tpcc", "hashmap", "redis",
 
 
 def _vans(lazy: bool, migrate_threshold: int = 250) -> VansSystem:
-    cfg = VansConfig().with_lazy_cache(lazy)
-    wear = WearConfig(migrate_threshold=migrate_threshold)
-    cfg = replace(cfg, dimm=replace(cfg.dimm, wear=wear))
-    return VansSystem(cfg)
+    return registry.build("vans", lazy_cache=lazy,
+                          migrate_threshold=migrate_threshold)
 
 
 def _run(workload: str, nops: int, warmup: int, lazy: bool,

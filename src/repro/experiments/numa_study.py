@@ -9,11 +9,10 @@ wrapper, against DRAM for contrast.
 
 from __future__ import annotations
 
-from repro.baselines.slow_dram import ramulator_ddr4
+from repro import registry
 from repro.common.rng import make_rng
 from repro.common.units import GIB, MIB, NS
 from repro.experiments.common import ExperimentResult, Scale
-from repro.vans import VansSystem
 from repro.vans.numa import NumaSystem
 
 NODE = 1 * GIB
@@ -60,8 +59,9 @@ def run(scale: Scale = Scale.SMOKE) -> ExperimentResult:
                        remote_m / local_m)
         return remote / local, remote_m / local_m
 
-    nv_chase, nv_mixed = rows("nvram", VansSystem, 41)
-    dr_chase, _ = rows("dram", lambda: ramulator_ddr4(frontend_ps=30_000), 42)
+    nv_chase, nv_mixed = rows("nvram", registry.factory("vans"), 41)
+    dr_chase, _ = rows(
+        "dram", registry.factory("ramulator-ddr4", frontend_ps=30_000), 42)
 
     nv_local = result.rows[0][2]
     nv_remote = result.rows[0][3]

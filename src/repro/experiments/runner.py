@@ -1,87 +1,279 @@
 """Run every reproduced table/figure and render the results.
 
-``python -m repro.experiments.runner [--paper] [ids...]``
+``python -m repro.experiments.runner [--paper] [--workers N] [ids...]``
+
+The runner owns three cross-cutting concerns so individual experiments
+don't have to:
+
+* **metadata** — every experiment id maps to an :class:`ExperimentSpec`
+  (paper section, estimated smoke-scale cost, registry targets it
+  builds) used for ``--list``, ``--filter``, and parallel scheduling;
+* **instrumentation** — each experiment runs inside an
+  :class:`~repro.instrument.Collection`, so every system the target
+  registry builds for it is gathered and its merged observability
+  snapshot attached to each :class:`ExperimentResult`;
+* **determinism** — per-experiment RNG is re-seeded from
+  ``(seed, experiment id)`` before each run, so ``--workers N`` is
+  bit-identical to a serial run regardless of scheduling order.
 """
 
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 import time
-from typing import Callable, Dict, List
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.common.errors import UnknownExperimentError
 from repro.experiments import ablation, bandwidth_matrix, characterize
 from repro.experiments import energy_study, fig01, fig03, fig05, fig06
 from repro.experiments import fig07, fig09, fig10, fig11, fig12, fig13
 from repro.experiments import numa_study, scaling, tables
 from repro.experiments.common import ExperimentResult, Scale
+from repro.instrument import Collection
 
-#: experiment id -> callable returning one result or a tuple of results
-REGISTRY: Dict[str, Callable] = {
-    "fig1": fig01.run,
-    "fig3": fig03.run,
-    "fig5": fig05.run,
-    "fig6": fig06.run,
-    "fig7": fig07.run,
-    "fig8": characterize.run,
-    "fig9": fig09.run,
-    "fig10": fig10.run,
-    "fig11": fig11.run,
-    "fig12": fig12.run,
-    "fig13": fig13.run,
-    "tables": tables.run,
+DEFAULT_SEED = 42
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Metadata for one runnable experiment id."""
+
+    id: str
+    run: Callable[[Scale], object]
+    section: str
+    description: str
+    #: rough smoke-scale runtime in seconds (for --list and for
+    #: longest-first scheduling under --workers)
+    est_cost: float
+    #: registry target names the experiment builds
+    targets: Tuple[str, ...]
+
+
+def _spec(id, run, section, description, est_cost, targets):
+    return ExperimentSpec(id, run, section, description, est_cost,
+                          tuple(targets))
+
+
+#: experiment id -> spec (insertion order is the canonical run order)
+REGISTRY: Dict[str, ExperimentSpec] = {s.id: s for s in [
+    _spec("fig1", fig01.run, "II",
+          "pointer-chase latency tiers vs. prior simulators", 1.5,
+          ["vans", "ramulator-ddr4"]),
+    _spec("fig3", fig03.run, "III",
+          "existing emulators/simulators miss the buffer tiers", 2.0,
+          ["vans", "pmep", "quartz", "dramsim2-ddr3", "ramulator-ddr4",
+           "ramulator-pcm"]),
+    _spec("fig5", fig05.run, "IV-B",
+          "LENS buffer prober: read/write capacity inflections", 2.0,
+          ["vans"]),
+    _spec("fig6", fig06.run, "IV-B",
+          "LENS entry-size and flush-granularity probes", 2.0,
+          ["vans"]),
+    _spec("fig7", fig07.run, "IV-C",
+          "LENS policy prober: overwrite tails, wear leveling", 5.0,
+          ["vans"]),
+    _spec("fig8", characterize.run, "IV",
+          "full LENS characterization of the simulated DIMM", 14.0,
+          ["vans", "vans-6dimm"]),
+    _spec("fig9", fig09.run, "V-B",
+          "VANS validation: latency curves vs. Optane reference", 4.0,
+          ["vans", "optane-ref"]),
+    _spec("fig10", fig10.run, "V-B",
+          "capacity/DIMM-count scaling validation", 6.0,
+          ["vans"]),
+    _spec("fig11", fig11.run, "V-B",
+          "bandwidth validation across read/write mixes", 11.0,
+          ["vans-6dimm"]),
+    _spec("fig12", fig12.run, "V-C",
+          "wear-leveling case study (YCSB-like hot lines)", 6.0,
+          ["vans"]),
+    _spec("fig13", fig13.run, "V-C",
+          "Lazy cache case study: tail latency reduction", 51.0,
+          ["vans", "vans-lazy"]),
+    _spec("tables", tables.run, "tables",
+          "Tables III-V: buffer inventory and timing parameters", 3.0,
+          ["vans", "ramulator-ddr4"]),
     # beyond the paper's figures: supporting studies
-    "scaling": scaling.run,
-    "ablation": ablation.run,
-    "energy": energy_study.run,
-    "numa": numa_study.run,
-    "bandwidth": bandwidth_matrix.run,
-}
+    _spec("scaling", scaling.run, "extra",
+          "throughput scaling with DIMM population", 3.0,
+          ["vans", "ramulator-ddr4"]),
+    _spec("ablation", ablation.run, "extra",
+          "microarchitectural ablations (combine window, engine hold)", 5.0,
+          ["vans"]),
+    _spec("energy", energy_study.run, "extra",
+          "energy model over the access mix", 3.0,
+          ["vans"]),
+    _spec("numa", numa_study.run, "extra",
+          "near/far socket latency study", 3.0,
+          ["vans", "ramulator-ddr4"]),
+    _spec("bandwidth", bandwidth_matrix.run, "extra",
+          "bandwidth matrix across patterns and targets", 4.0,
+          ["vans", "ramulator-ddr4"]),
+]}
 
 
-def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE
-                   ) -> List[ExperimentResult]:
-    """Run one experiment id; returns its results as a flat list."""
-    out = REGISTRY[exp_id](scale)
-    if isinstance(out, ExperimentResult):
-        return [out]
-    return list(out)
+def validate_ids(ids: Sequence[str]) -> List[str]:
+    """Check every id against the registry; raises
+    :class:`UnknownExperimentError` naming the known ids otherwise."""
+    for exp_id in ids:
+        if exp_id not in REGISTRY:
+            raise UnknownExperimentError(exp_id, REGISTRY)
+    return list(ids)
 
 
-def run_all(scale: Scale = Scale.SMOKE, ids: List[str] = None
-            ) -> List[ExperimentResult]:
-    results: List[ExperimentResult] = []
-    for exp_id in (ids or REGISTRY):
-        results.extend(run_experiment(exp_id, scale))
+def filter_ids(pattern: str) -> List[str]:
+    """Ids whose id, section, or description contains ``pattern``."""
+    needle = pattern.lower()
+    return [s.id for s in REGISTRY.values()
+            if needle in s.id.lower()
+            or needle in s.section.lower()
+            or needle in s.description.lower()]
+
+
+def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
+                   seed: int = DEFAULT_SEED) -> List[ExperimentResult]:
+    """Run one experiment id; returns its results as a flat list.
+
+    Re-seeds the global RNG from ``(seed, exp_id)`` (experiments draw
+    all randomness through explicitly seeded generators already; this is
+    belt and braces for anything stdlib-level) and attaches the merged
+    instrumentation snapshot of every registry-built system to each
+    result.
+    """
+    spec = REGISTRY.get(exp_id)
+    if spec is None:
+        raise UnknownExperimentError(exp_id, REGISTRY)
+    random.seed(f"repro-exp:{seed}:{exp_id}")
+    with Collection() as collection:
+        out = spec.run(scale)
+        results = [out] if isinstance(out, ExperimentResult) else list(out)
+        snapshot = collection.merged()
+    for result in results:
+        result.instrumentation = dict(snapshot)
     return results
 
 
-def main(argv: List[str] = None) -> int:
+def run_all(scale: Scale = Scale.SMOKE, ids: Optional[List[str]] = None,
+            seed: int = DEFAULT_SEED, workers: int = 1
+            ) -> List[ExperimentResult]:
+    """Run experiments (all by default), serial or fan-out.
+
+    Results come back in registry order either way; with ``workers > 1``
+    each experiment runs in its own process but is bit-identical to the
+    serial run because all experiment randomness is seeded per id.
+    """
+    ids = validate_ids(ids) if ids else list(REGISTRY)
+    if workers <= 1:
+        results: List[ExperimentResult] = []
+        for exp_id in ids:
+            results.extend(run_experiment(exp_id, scale, seed))
+        return results
+    by_id = _run_parallel(ids, scale, seed, workers)
+    return [r for exp_id in ids for r in by_id[exp_id][0]]
+
+
+def _worker(job: Tuple[str, str, int]
+            ) -> Tuple[str, List[ExperimentResult], float]:
+    exp_id, scale_value, seed = job
+    start = time.time()
+    results = run_experiment(exp_id, Scale(scale_value), seed)
+    return exp_id, results, time.time() - start
+
+
+def _run_parallel(ids: List[str], scale: Scale, seed: int, workers: int
+                  ) -> Dict[str, Tuple[List[ExperimentResult], float]]:
+    """Fan experiments out over processes; longest-first for packing."""
+    order = sorted(ids, key=lambda i: -REGISTRY[i].est_cost)
+    by_id: Dict[str, Tuple[List[ExperimentResult], float]] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for exp_id, results, elapsed in pool.map(
+                _worker, [(i, scale.value, seed) for i in order]):
+            by_id[exp_id] = (results, elapsed)
+    return by_id
+
+
+def _print_listing() -> None:
+    width = max(len(i) for i in REGISTRY)
+    print(f"{'id'.ljust(width)}  sect    ~cost  targets / description")
+    for spec in REGISTRY.values():
+        print(f"{spec.id.ljust(width)}  {spec.section:6s} "
+              f"{spec.est_cost:5.0f}s  {', '.join(spec.targets)}")
+        print(f"{''.ljust(width)}                 {spec.description}")
+
+
+def _print_result(result: ExperimentResult, plot: bool) -> None:
+    print(result.render())
+    if plot and result.series:
+        from repro.experiments.plotting import line_plot
+        chart = line_plot(result.series)
+        if chart:
+            print()
+            print(chart)
+    print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("ids", nargs="*", choices=list(REGISTRY) + [[]],
-                        help="experiment ids (default: all)")
+    parser.add_argument("ids", nargs="*", metavar="id",
+                        help="experiment ids (default: all; see --list)")
+    parser.add_argument("--list", action="store_true", dest="list_ids",
+                        help="list known experiments and exit")
+    parser.add_argument("--filter", metavar="PATTERN",
+                        help="run ids whose id/section/description "
+                             "contains PATTERN")
     parser.add_argument("--paper", action="store_true",
                         help="full paper-scale sweeps (slow)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="run experiments in N parallel processes "
+                             "(bit-identical to serial)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="base seed for per-experiment RNG")
     parser.add_argument("--plot", action="store_true",
                         help="draw ASCII charts of each result's series")
     parser.add_argument("--json", metavar="PATH",
-                        help="also export all results as JSON")
+                        help="also export all results (including "
+                             "instrumentation snapshots) as JSON")
     args = parser.parse_args(argv)
+
+    if args.list_ids:
+        _print_listing()
+        return 0
+
+    try:
+        ids = validate_ids(args.ids) if args.ids else list(REGISTRY)
+    except UnknownExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.filter:
+        matched = [i for i in filter_ids(args.filter) if i in ids]
+        if not matched:
+            print(f"error: --filter {args.filter!r} matches no experiment",
+                  file=sys.stderr)
+            return 2
+        ids = matched
+
     scale = Scale.PAPER if args.paper else Scale.SMOKE
-    collected = []
-    for exp_id in (args.ids or list(REGISTRY)):
-        start = time.time()
-        for result in run_experiment(exp_id, scale):
-            collected.append(result)
-            print(result.render())
-            if args.plot and result.series:
-                from repro.experiments.plotting import line_plot
-                plot = line_plot(result.series)
-                if plot:
-                    print()
-                    print(plot)
-            print()
-        print(f"[{exp_id} done in {time.time() - start:.1f}s]\n")
+    collected: List[ExperimentResult] = []
+    if args.workers > 1:
+        by_id = _run_parallel(ids, scale, args.seed, args.workers)
+        for exp_id in ids:
+            results, elapsed = by_id[exp_id]
+            for result in results:
+                collected.append(result)
+                _print_result(result, args.plot)
+            print(f"[{exp_id} done in {elapsed:.1f}s]\n")
+    else:
+        for exp_id in ids:
+            start = time.time()
+            for result in run_experiment(exp_id, scale, args.seed):
+                collected.append(result)
+                _print_result(result, args.plot)
+            print(f"[{exp_id} done in {time.time() - start:.1f}s]\n")
+
     if args.json:
         from repro.experiments.export import save_json
         count = save_json(collected, args.json)

@@ -14,13 +14,12 @@ from __future__ import annotations
 
 from typing import Callable, List
 
-from repro.baselines.slow_dram import ramulator_ddr4
+from repro import registry
 from repro.common.rng import make_rng
 from repro.common.units import MIB
 from repro.engine.request import CACHE_LINE
 from repro.experiments.common import ExperimentResult, Scale
 from repro.target import TargetSystem
-from repro.vans import VansSystem
 
 THREAD_COUNTS = (1, 2, 4, 8, 16)
 
@@ -75,8 +74,9 @@ def run_read_scaling(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     )
     nvram_bw: List[float] = []
     for n in THREAD_COUNTS:
-        nv = _aggregate_read_bw(VansSystem(), n, ops, 64 * MIB)
-        dr = _aggregate_read_bw(ramulator_ddr4(), n, ops, 64 * MIB)
+        nv = _aggregate_read_bw(registry.build("vans"), n, ops, 64 * MIB)
+        dr = _aggregate_read_bw(registry.build("ramulator-ddr4"), n, ops,
+                                64 * MIB)
         nvram_bw.append(nv)
         result.add_row(n, nv, dr)
     # scaling efficiency from 1 to max threads
@@ -97,7 +97,7 @@ def run_write_scaling(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     )
     values: List[float] = []
     for n in THREAD_COUNTS:
-        bw = _aggregate_write_bw(VansSystem(), n, ops, 64 * MIB)
+        bw = _aggregate_write_bw(registry.build("vans"), n, ops, 64 * MIB)
         values.append(bw)
         result.add_row(n, bw, bw / n)
     result.metrics["nvram_scaling_16t"] = values[-1] / values[0]

@@ -7,7 +7,7 @@ workload generators against their target MPKI/footprints.
 
 from __future__ import annotations
 
-from repro.baselines.slow_dram import ramulator_ddr4
+from repro import registry
 from repro.common.units import GIB, pretty_size
 from repro.cpu import FullSystem
 from repro.experiments.common import ExperimentResult, Scale
@@ -68,7 +68,9 @@ def run_table4(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     )
     worst = 0.0
     for wl in SPEC_WORKLOADS:
-        system = FullSystem(ramulator_ddr4(frontend_ps=30_000), name=wl.name)
+        system = FullSystem(
+            registry.build("ramulator-ddr4", frontend_ps=30_000),
+            name=wl.name)
         report = system.run(spec_trace(wl.name, nops + warmup),
                             warmup_ops=warmup)
         result.add_row(wl.name, wl.suite, wl.llc_mpki, report.llc_mpki,

@@ -145,6 +145,18 @@ class WearLeveler:
     def migrations(self) -> int:
         return self._migrations.value
 
+    def publish(self, bus, prefix: str = "wear") -> None:
+        """Register pull-gauges for wear state on an instrument bus.
+
+        The push-counters (migrations, stall time, media writes) already
+        live in the shared stats registry; these gauges expose the
+        *structural* state — how many blocks have accumulated wear and
+        how many have been remapped — without any hot-path recording.
+        """
+        bus.gauge(f"{prefix}.blocks_tracked", lambda: len(self._write_counts))
+        bus.gauge(f"{prefix}.blocks_remapped", lambda: len(self._remap))
+        bus.gauge(f"{prefix}.hot_lines_tracked", lambda: len(self.line_wear))
+
     def top_written_lines(self, n: int = 10):
         """The ``n`` most-written 256B lines (requires track_line_wear)."""
         ranked = sorted(self.line_wear.items(), key=lambda kv: kv[1], reverse=True)

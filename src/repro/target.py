@@ -53,6 +53,16 @@ class TargetSystem(ABC):
     def warm_fill(self, start_addr: int, length: int) -> None:
         """Optional fast-forward warm-up of internal buffer state."""
 
+    def instrument_snapshot(self) -> dict:
+        """Flat observability snapshot (``dotted.path -> number``).
+
+        The default pulls the system's :class:`StatsRegistry` when it has
+        one; systems wired to an instrument bus override this to merge in
+        their gauges as well.
+        """
+        stats = getattr(self, "stats", None)
+        return dict(stats.snapshot()) if stats is not None else {}
+
     def reset_state(self) -> None:
         """Optional: drop all internal state between experiment phases."""
 

@@ -13,24 +13,31 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import registry
+from repro.common.errors import UnknownTargetError
 from repro.common.units import pretty_size
 from repro.lens.probers.buffer import BufferProber
 from repro.lens.report import characterize
-from repro.tools.targets import TARGETS, make_target
+from repro.tools.targets import make_target
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Reverse engineer a memory system with LENS.")
-    parser.add_argument("target", choices=sorted(TARGETS),
-                        help="memory system to characterize")
+    parser.add_argument("target",
+                        help="memory system to characterize "
+                             f"({', '.join(registry.target_names(systems_only=True))})")
     parser.add_argument("--buffers", action="store_true",
                         help="run only the (fast) buffer prober")
     parser.add_argument("--overwrite-iterations", type=int, default=40000,
                         help="overwrite test length for the policy prober")
     args = parser.parse_args(argv)
 
-    factory = make_target(args.target)
+    try:
+        factory = make_target(args.target)
+    except UnknownTargetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.buffers:
         report = BufferProber(factory).run()
         caps = [pretty_size(c) for c in report.read_capacities]
@@ -48,7 +55,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     interleaved = None
     if args.target == "vans":
-        interleaved = TARGETS["vans-6dimm"]
+        interleaved = registry.factory("vans-6dimm")
     chara = characterize(
         factory,
         interleaved_factory=interleaved,

@@ -1,39 +1,33 @@
-"""Named memory-system targets for the CLI tools."""
+"""Named memory-system targets for the CLI tools.
+
+This module is now a thin compatibility shim over the unified target
+registry (:mod:`repro.registry`); the registry is the single place where
+named systems are defined and parameterized.
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.baselines import PMEPModel, QuartzModel
-from repro.baselines.slow_dram import (
-    dramsim2_ddr3,
-    ramulator_ddr4,
-    ramulator_pcm,
-)
+from repro import registry
+from repro.common.errors import UnknownTargetError
 from repro.target import TargetSystem
-from repro.vans import MemoryModeSystem, VansConfig, VansSystem
 
+__all__ = ["TARGETS", "make_target", "UnknownTargetError"]
 
-def _vans(ndimms: int = 1) -> Callable[[], TargetSystem]:
-    cfg = VansConfig().with_dimms(ndimms)
-    return lambda: VansSystem(cfg)
-
-
+#: drivable (LENS/replay-capable) targets, name -> zero-arg factory
 TARGETS: Dict[str, Callable[[], TargetSystem]] = {
-    "vans": _vans(1),
-    "vans-6dimm": _vans(6),
-    "memory-mode": lambda: MemoryModeSystem(),
-    "pmep": lambda: PMEPModel(),
-    "quartz": lambda: QuartzModel(),
-    "dramsim2-ddr3": dramsim2_ddr3,
-    "ramulator-ddr4": ramulator_ddr4,
-    "ramulator-pcm": ramulator_pcm,
+    name: registry.factory(name)
+    for name in registry.target_names(systems_only=True)
 }
 
 
 def make_target(name: str) -> Callable[[], TargetSystem]:
-    try:
-        return TARGETS[name]
-    except KeyError:
-        known = ", ".join(sorted(TARGETS))
-        raise SystemExit(f"unknown target {name!r}; choose from: {known}")
+    """Factory for a named system target.
+
+    Raises :class:`UnknownTargetError` for unknown names; CLIs translate
+    that to exit code 2.
+    """
+    if name not in TARGETS:
+        raise UnknownTargetError(name, TARGETS)
+    return TARGETS[name]

@@ -16,9 +16,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import registry
+from repro.common.errors import UnknownTargetError
 from repro.common.rng import make_rng
 from repro.engine.request import CACHE_LINE, Op
-from repro.tools.targets import TARGETS, make_target
+from repro.tools.targets import make_target
 from repro.vans.tracing import TraceRecord, load_trace, replay, save_trace
 
 
@@ -55,7 +57,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     rep = sub.add_parser("replay", help="replay a trace against a target")
     rep.add_argument("input")
-    rep.add_argument("--target", default="vans", choices=sorted(TARGETS))
+    rep.add_argument(
+        "--target", default="vans",
+        help="system to replay against "
+             f"({', '.join(registry.target_names(systems_only=True))})")
 
     args = parser.parse_args(argv)
     if args.command == "capture":
@@ -65,7 +70,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {count} records to {args.output}")
         return 0
 
-    target = make_target(args.target)()
+    try:
+        target = make_target(args.target)()
+    except UnknownTargetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = replay(load_trace(args.input), target)
     print(f"target: {target.name}")
     print(f"reads:  {result.reads.count:>8}  mean {result.read_mean_ns:.1f} ns")

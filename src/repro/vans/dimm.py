@@ -49,9 +49,11 @@ class NvramDimm:
     """One Optane-like DIMM as an FCFS timing pipeline."""
 
     def __init__(self, config: DimmConfig, stats: Optional[StatsRegistry] = None,
-                 track_line_wear: bool = False) -> None:
+                 track_line_wear: bool = False, instrument=None) -> None:
+        from repro.instrument import NULL_BUS
         self.config = config
         self.stats = stats or StatsRegistry()
+        self.instrument = instrument if instrument is not None else NULL_BUS
         t = config.timing
         self.t = t
 
@@ -112,6 +114,16 @@ class NvramDimm:
         self._c_ait_fill_bytes = s.counter("dimm.ait_fill_bytes")
         self._c_write_bytes = s.counter("dimm.requested_write_bytes")
         self._c_drained_bytes = s.counter("dimm.drained_write_bytes")
+
+        # Pull-gauges on the instrumentation bus: station occupancy and
+        # blocked/busy time of every FCFS resource in the pipeline.
+        # No-ops on the default NULL_BUS.
+        bus = self.instrument
+        self.lsq.publish(bus, "lsq")
+        self.engine.publish(bus, "engine")
+        self.media_port.publish(bus, "media_port")
+        self.bus.publish(bus, "return_bus")
+        self.wear.publish(bus, "wear")
 
     # ------------------------------------------------------------------
     # address helpers

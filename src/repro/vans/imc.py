@@ -31,15 +31,19 @@ class IntegratedMemoryController:
     """iMC front end over one or more NVRAM DIMMs."""
 
     def __init__(self, config: VansConfig, stats: Optional[StatsRegistry] = None,
-                 track_line_wear: bool = False) -> None:
+                 track_line_wear: bool = False, instrument=None) -> None:
+        from repro.instrument import NULL_BUS
         self.config = config
         self.stats = stats or StatsRegistry()
+        self.instrument = instrument if instrument is not None else NULL_BUS
         self.interleaver = Interleaver(
             config.ndimms, config.interleave_bytes, config.interleaved
         )
         self.dimms: List[NvramDimm] = [
-            NvramDimm(config.dimm, stats=self.stats, track_line_wear=track_line_wear)
-            for _ in range(config.ndimms)
+            NvramDimm(config.dimm, stats=self.stats,
+                      track_line_wear=track_line_wear,
+                      instrument=self.instrument.scope(f"dimm{i}"))
+            for i in range(config.ndimms)
         ]
         self.wpqs: List[FcfsStation] = [
             FcfsStation(config.wpq.entries) for _ in range(config.ndimms)
@@ -49,6 +53,11 @@ class IntegratedMemoryController:
         ]
         # Serial per-channel write path draining the WPQ into the DIMM.
         self.write_buses: List[Server] = [Server() for _ in range(config.ndimms)]
+        for i in range(config.ndimms):
+            channel = self.instrument.scope(f"channel{i}")
+            self.wpqs[i].publish(channel, "wpq")
+            self.rpqs[i].publish(channel, "rpq")
+            self.write_buses[i].publish(channel, "write_bus")
         # Optional explicit DDR-T request/grant layer (protocol studies).
         self.ddrt = None
         if config.dimm.timing.ddrt_detailed:

@@ -29,8 +29,12 @@ class MemoryModeSystem(TargetSystem):
         dram_capacity: int = 4 * GIB,
         dram_timing: DDR4Timing = DDR4_2666,
         dram_channels: int = 4,
+        instrument=None,
     ) -> None:
-        self.nvram = VansSystem(nvram_config)
+        from repro.instrument import NULL_BUS
+        self.instrument = instrument if instrument is not None else NULL_BUS
+        self.nvram = VansSystem(nvram_config,
+                                instrument=self.instrument.scope("nvram"))
         self.dram = DramDevice(dram_timing, nchannels=dram_channels,
                                capacity_bytes=dram_capacity)
         self.dram_capacity = dram_capacity
@@ -96,3 +100,10 @@ class MemoryModeSystem(TargetSystem):
     def reset_state(self) -> None:
         self._tags.clear()
         self.nvram.reset_state()
+
+    def instrument_snapshot(self) -> dict:
+        """Cache-layer stats plus the backing NVRAM system's snapshot."""
+        snap = dict(self.stats.snapshot())
+        for path, value in self.nvram.instrument_snapshot().items():
+            snap[f"nvram.{path}"] = value
+        return snap

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import ReproError, UnknownTargetError
 from repro.tools.lens_cli import main as lens_main
 from repro.tools.targets import TARGETS, make_target
 from repro.tools.trace_cli import main as trace_main
@@ -14,8 +15,14 @@ class TestTargets:
             assert system.read(0, 0) > 0
 
     def test_unknown_target(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(UnknownTargetError) as exc_info:
             make_target("nope")
+        assert isinstance(exc_info.value, ReproError)
+        assert "vans" in str(exc_info.value)
+
+    def test_unknown_target_exit_code(self, capsys):
+        assert lens_main(["nope", "--buffers"]) == 2
+        assert "unknown target" in capsys.readouterr().err
 
 
 class TestLensCli:

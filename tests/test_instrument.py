@@ -1,0 +1,92 @@
+"""The instrumentation bus."""
+
+from repro.instrument import (
+    NULL_BUS,
+    Collection,
+    InstrumentBus,
+    announce,
+)
+
+
+class TestNullBus:
+    def test_everything_is_a_noop(self):
+        NULL_BUS.counter("a").add()
+        NULL_BUS.histogram("b").record(5)
+        NULL_BUS.gauge("c", lambda: 1)
+        with NULL_BUS.span("d"):
+            pass
+        assert NULL_BUS.snapshot() == {}
+
+    def test_scope_returns_itself(self):
+        assert NULL_BUS.scope("x") is NULL_BUS
+
+
+class TestInstrumentBus:
+    def test_counters_and_snapshot(self):
+        bus = InstrumentBus()
+        bus.counter("reads").add()
+        bus.counter("reads").add(2)
+        assert bus.snapshot()["reads"] == 3
+
+    def test_counter_identity_per_path(self):
+        bus = InstrumentBus()
+        assert bus.counter("x") is bus.counter("x")
+
+    def test_gauges_pull_at_snapshot_time(self):
+        bus = InstrumentBus()
+        state = {"v": 1}
+        bus.gauge("depth", lambda: state["v"])
+        state["v"] = 7
+        assert bus.snapshot()["depth"] == 7
+
+    def test_histogram_expands_to_count_mean_max(self):
+        bus = InstrumentBus()
+        bus.histogram("lat").record(10)
+        bus.histogram("lat").record(30)
+        snap = bus.snapshot()
+        assert snap["lat.count"] == 2
+        assert snap["lat.mean"] == 20
+        assert snap["lat.max"] == 30
+
+
+class TestScopedBus:
+    def test_scope_prefixes_paths(self):
+        bus = InstrumentBus()
+        bus.scope("imc").scope("dimm0").counter("hits").add()
+        assert bus.snapshot()["imc.dimm0.hits"] == 1
+
+    def test_scoped_snapshot_is_scope_relative(self):
+        bus = InstrumentBus()
+        imc = bus.scope("imc")
+        imc.counter("hits").add(4)
+        bus.counter("other").add()
+        assert imc.snapshot() == {"hits": 4}
+
+
+class TestCollection:
+    class FakeSystem:
+        def __init__(self, snap):
+            self._snap = snap
+
+        def instrument_snapshot(self):
+            return self._snap
+
+    def test_announce_outside_collection_is_noop(self):
+        announce(object())  # must not raise
+
+    def test_merged_sums_numeric_paths(self):
+        with Collection() as col:
+            announce(self.FakeSystem({"a": 1, "b": 2.5}))
+            announce(self.FakeSystem({"a": 10, "c": "text"}))
+        merged = col.merged()
+        assert merged["a"] == 11
+        assert merged["b"] == 2.5
+        assert "c" not in merged
+        assert merged["systems"] == 2
+
+    def test_nested_collections_innermost_wins(self):
+        with Collection() as outer:
+            with Collection() as inner:
+                announce(self.FakeSystem({"x": 1}))
+        assert len(inner) == 1
+        assert len(outer) == 0

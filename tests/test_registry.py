@@ -1,0 +1,96 @@
+"""The unified target registry."""
+
+import pytest
+
+from repro import registry
+from repro.common.errors import ReproError, UnknownTargetError
+from repro.instrument import Collection
+from repro.vans.config import VansConfig
+from repro.vans.system import VansSystem
+
+
+class TestSpecs:
+    def test_every_named_target_builds(self):
+        for name in registry.target_names():
+            obj = registry.build(name)
+            assert obj is not None, name
+
+    def test_every_system_target_serves_reads(self):
+        for name in registry.target_names(systems_only=True):
+            system = registry.build(name)
+            assert system.read(0, 0) > 0, name
+
+    def test_unknown_target_raises_typed_error(self):
+        with pytest.raises(UnknownTargetError) as exc_info:
+            registry.build("no-such-system")
+        assert isinstance(exc_info.value, ReproError)
+        assert "vans" in str(exc_info.value)
+
+    def test_factory_validates_name_eagerly(self):
+        with pytest.raises(UnknownTargetError):
+            registry.factory("no-such-system")
+
+    def test_categories(self):
+        assert "vans" in registry.target_names(category="vans")
+        assert "optane-ref" not in registry.target_names(systems_only=True)
+
+
+class TestVansOverrides:
+    def test_ndimms_override_matches_with_dimms(self):
+        system = registry.build("vans-6dimm")
+        assert system.config == VansConfig().with_dimms(6)
+
+    def test_lazy_cache_override(self):
+        system = registry.build("vans", lazy_cache=True)
+        assert system.config.dimm.lazy_cache
+
+    def test_nested_overrides(self):
+        system = registry.build(
+            "vans", migrate_threshold=123, combine_window_ps=0,
+            engine_holds_partial=False)
+        assert system.config.dimm.wear.migrate_threshold == 123
+        assert system.config.dimm.lsq.combine_window_ps == 0
+        assert not system.config.dimm.timing.engine_holds_partial
+
+    def test_base_config_passthrough(self):
+        cfg = VansConfig().with_lazy_cache(True)
+        system = registry.build("vans", config=cfg, ndimms=2)
+        assert system.config.dimm.lazy_cache
+        assert system.config.ndimms == 2
+
+    def test_baseline_kwargs_passthrough(self):
+        system = registry.build("ramulator-ddr4", frontend_ps=30_000)
+        assert system.frontend_ps == 30_000
+
+
+class TestInstrumentation:
+    def test_built_vans_has_live_bus(self):
+        system = registry.build("vans")
+        system.read(0, 0)
+        snap = system.instrument_snapshot()
+        assert any(".media_port." in k for k in snap)
+
+    def test_instrument_opt_out(self):
+        system = registry.build("vans", instrument=False)
+        system.read(0, 0)
+        snap = system.instrument_snapshot()
+        # stats counters still present, bus gauges absent
+        assert "dimm.rmw_misses" in snap
+        assert not any(".media_port." in k for k in snap)
+
+    def test_plain_construction_stays_uninstrumented(self):
+        system = VansSystem()
+        system.read(0, 0)
+        assert not any(".media_port." in k
+                       for k in system.instrument_snapshot())
+
+    def test_collection_gathers_registry_builds(self):
+        with Collection() as col:
+            a = registry.build("vans")
+            b = registry.build("ramulator-ddr4")
+            a.read(0, 0)
+            b.read(0, 0)
+            merged = col.merged()
+        assert merged["systems"] == 2
+        assert merged["dimm.rmw_misses"] >= 1
+        assert merged["slowdram.reads"] == 1
