@@ -60,6 +60,9 @@ class Request:
             asks the DIMM to return a pre-translated TLB entry for the
             pointer stored at this address alongside the data.
         meta: free-form per-request annotations (experiment bookkeeping).
+        flight: the :class:`repro.flight.FlightRecord` of this request's
+            station crossings, attached by ``TargetSystem.submit`` when a
+            flight recorder sampled it (``None`` otherwise).
     """
 
     addr: int
@@ -71,6 +74,7 @@ class Request:
     mkpt_hint: bool = False
     req_id: int = field(default_factory=lambda: next(_next_request_id))
     meta: Optional[Dict[str, Any]] = None
+    flight: Optional[Any] = None
 
     @property
     def latency_ps(self) -> int:

@@ -69,10 +69,25 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def dropped(self) -> int:
+        """Samples decimated away (recorded but no longer retained)."""
+        return self.count - len(self._samples)
+
     def percentile(self, pct: float) -> float:
-        """Sample percentile in [0, 100]; 0 samples -> 0.0."""
+        """Sample percentile in [0, 100]; 0 samples -> 0.0.
+
+        The extremes are answered from the exact tracked ``min``/``max``
+        rather than the retained samples: after decimation the true
+        extrema may have been dropped from ``_samples``, and reporting a
+        p100 below an observed value would be a lie.
+        """
         if not self._samples:
             return 0.0
+        if pct >= 100.0 and self.max is not None:
+            return float(self.max)
+        if pct <= 0.0 and self.min is not None:
+            return float(self.min)
         ordered = sorted(self._samples)
         rank = (pct / 100.0) * (len(ordered) - 1)
         low = int(math.floor(rank))

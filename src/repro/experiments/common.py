@@ -36,6 +36,9 @@ class ExperimentResult:
     #: experiment used (``dotted.path -> number``); attached by the
     #: runner, deterministic (no wall-clock data ever lands here).
     instrumentation: Dict[str, float] = field(default_factory=dict)
+    #: flight-recorder summary (sampling metadata + per-op latency
+    #: breakdowns) attached by the runner when ``--flight`` is on.
+    flight: Dict[str, object] = field(default_factory=dict)
 
     def add_row(self, *values) -> None:
         self.rows.append(tuple(values))

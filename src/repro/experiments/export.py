@@ -30,6 +30,7 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "metrics": dict(result.metrics),
         "notes": result.notes,
         "instrumentation": dict(result.instrumentation),
+        "flight": dict(result.flight),
     }
 
 

@@ -23,9 +23,10 @@ import argparse
 import random
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import UnknownExperimentError
 from repro.experiments import ablation, bandwidth_matrix, characterize
@@ -33,6 +34,9 @@ from repro.experiments import energy_study, fig01, fig03, fig05, fig06
 from repro.experiments import fig07, fig09, fig10, fig11, fig12, fig13
 from repro.experiments import numa_study, scaling, tables
 from repro.experiments.common import ExperimentResult, Scale
+from repro.flight import (FlightRecord, FlightRecorder, breakdowns,
+                          save_chrome_trace)
+from repro.flight import session as flight_session
 from repro.instrument import Collection
 
 DEFAULT_SEED = 42
@@ -134,8 +138,19 @@ def filter_ids(pattern: str) -> List[str]:
             or needle in s.description.lower()]
 
 
+def make_flight_recorder(spec: Optional[Mapping[str, object]]
+                         ) -> Optional[FlightRecorder]:
+    """Build a per-experiment recorder from CLI-level flight options
+    (``None`` -> recording off)."""
+    if spec is None:
+        return None
+    return FlightRecorder(**spec)
+
+
 def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
-                   seed: int = DEFAULT_SEED) -> List[ExperimentResult]:
+                   seed: int = DEFAULT_SEED,
+                   flight: Optional[FlightRecorder] = None
+                   ) -> List[ExperimentResult]:
     """Run one experiment id; returns its results as a flat list.
 
     Re-seeds the global RNG from ``(seed, exp_id)`` (experiments draw
@@ -143,17 +158,32 @@ def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
     belt and braces for anything stdlib-level) and attaches the merged
     instrumentation snapshot of every registry-built system to each
     result.
+
+    With a ``flight`` recorder, every system the registry builds during
+    the run records per-request spans onto it, and each result carries
+    the sampling summary plus per-op latency breakdowns in
+    ``result.flight``.
     """
     spec = REGISTRY.get(exp_id)
     if spec is None:
         raise UnknownExperimentError(exp_id, REGISTRY)
     random.seed(f"repro-exp:{seed}:{exp_id}")
-    with Collection() as collection:
-        out = spec.run(scale)
-        results = [out] if isinstance(out, ExperimentResult) else list(out)
-        snapshot = collection.merged()
+    session = flight_session(flight) if flight is not None else nullcontext()
+    with session:
+        with Collection() as collection:
+            out = spec.run(scale)
+            results = [out] if isinstance(out, ExperimentResult) else list(out)
+            snapshot = collection.merged()
+    flight_summary: Dict[str, object] = {}
+    if flight is not None:
+        flight_summary = {
+            "sampling": flight.sampling_summary(),
+            "breakdowns": {op: bd.as_dict()
+                           for op, bd in breakdowns(flight.records).items()},
+        }
     for result in results:
         result.instrumentation = dict(snapshot)
+        result.flight = dict(flight_summary)
     return results
 
 
@@ -176,23 +206,43 @@ def run_all(scale: Scale = Scale.SMOKE, ids: Optional[List[str]] = None,
     return [r for exp_id in ids for r in by_id[exp_id][0]]
 
 
-def _worker(job: Tuple[str, str, int]
-            ) -> Tuple[str, List[ExperimentResult], float]:
-    exp_id, scale_value, seed = job
+def _worker(job: Tuple[str, str, int, Optional[Dict[str, object]]]
+            ) -> Tuple[str, List[ExperimentResult], float,
+                       List[FlightRecord]]:
+    exp_id, scale_value, seed, flight_spec = job
     start = time.time()
-    results = run_experiment(exp_id, Scale(scale_value), seed)
-    return exp_id, results, time.time() - start
+    recorder = make_flight_recorder(flight_spec)
+    results = run_experiment(exp_id, Scale(scale_value), seed,
+                             flight=recorder)
+    records = recorder.records if recorder is not None else []
+    return exp_id, results, time.time() - start, records
 
 
-def _run_parallel(ids: List[str], scale: Scale, seed: int, workers: int
-                  ) -> Dict[str, Tuple[List[ExperimentResult], float]]:
-    """Fan experiments out over processes; longest-first for packing."""
+def _run_parallel(ids: List[str], scale: Scale, seed: int, workers: int,
+                  flight_spec: Optional[Dict[str, object]] = None,
+                  heartbeat: bool = False
+                  ) -> Dict[str, Tuple[List[ExperimentResult], float,
+                                       List[FlightRecord]]]:
+    """Fan experiments out over processes; longest-first for packing.
+
+    With ``heartbeat`` the parent prints a ``[done k/n]`` stderr line as
+    each future completes, so long parallel runs stay observable (worker
+    processes can't share the parent's progress stream).
+    """
     order = sorted(ids, key=lambda i: -REGISTRY[i].est_cost)
-    by_id: Dict[str, Tuple[List[ExperimentResult], float]] = {}
+    by_id: Dict[str, Tuple[List[ExperimentResult], float,
+                           List[FlightRecord]]] = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        for exp_id, results, elapsed in pool.map(
-                _worker, [(i, scale.value, seed) for i in order]):
-            by_id[exp_id] = (results, elapsed)
+        futures = {pool.submit(_worker, (i, scale.value, seed, flight_spec)): i
+                   for i in order}
+        done = 0
+        for future in as_completed(futures):
+            exp_id, results, elapsed, records = future.result()
+            by_id[exp_id] = (results, elapsed, records)
+            done += 1
+            if heartbeat:
+                print(f"[done {done}/{len(order)}] {exp_id} ({elapsed:.1f}s)",
+                      file=sys.stderr, flush=True)
     return by_id
 
 
@@ -237,6 +287,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--json", metavar="PATH",
                         help="also export all results (including "
                              "instrumentation snapshots) as JSON")
+    parser.add_argument("--flight", action="store_true",
+                        help="record per-request flight spans and print "
+                             "per-op latency breakdowns")
+    parser.add_argument("--flight-sample", type=int, default=0, metavar="N",
+                        help="sample 1 in N requests (implies --flight)")
+    parser.add_argument("--flight-out", metavar="PATH",
+                        help="export sampled records as a Chrome/Perfetto "
+                             "trace.json (implies --flight)")
     args = parser.parse_args(argv)
 
     if args.list_ids:
@@ -257,11 +315,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         ids = matched
 
     scale = Scale.PAPER if args.paper else Scale.SMOKE
+    flight_spec: Optional[Dict[str, object]] = None
+    if args.flight or args.flight_sample or args.flight_out:
+        if args.flight_sample > 1:
+            flight_spec = {"mode": "every", "every": args.flight_sample}
+        else:
+            flight_spec = {"mode": "all"}
+
     collected: List[ExperimentResult] = []
+    all_records: List[FlightRecord] = []
     if args.workers > 1:
-        by_id = _run_parallel(ids, scale, args.seed, args.workers)
+        by_id = _run_parallel(ids, scale, args.seed, args.workers,
+                              flight_spec=flight_spec, heartbeat=True)
         for exp_id in ids:
-            results, elapsed = by_id[exp_id]
+            results, elapsed, records = by_id[exp_id]
+            all_records.extend(records)
             for result in results:
                 collected.append(result)
                 _print_result(result, args.plot)
@@ -269,11 +337,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         for exp_id in ids:
             start = time.time()
-            for result in run_experiment(exp_id, scale, args.seed):
+            recorder = make_flight_recorder(flight_spec)
+            for result in run_experiment(exp_id, scale, args.seed,
+                                         flight=recorder):
                 collected.append(result)
                 _print_result(result, args.plot)
+            if recorder is not None:
+                all_records.extend(recorder.records)
             print(f"[{exp_id} done in {time.time() - start:.1f}s]\n")
 
+    if flight_spec is not None:
+        for op, breakdown in breakdowns(all_records).items():
+            print(breakdown.render())
+            print()
+    if args.flight_out:
+        events = save_chrome_trace(all_records, args.flight_out)
+        print(f"[exported {events} trace events to {args.flight_out}]")
     if args.json:
         from repro.experiments.export import save_json
         count = save_json(collected, args.json)

@@ -1,0 +1,47 @@
+"""Per-request flight recorder: span events, sampling, breakdown, export.
+
+The instrumentation bus aggregates; the flight recorder explains.  See
+``docs/ARCHITECTURE.md`` ("Observability") for the split and the span
+schema.
+"""
+
+from repro.flight.chrome import save_chrome_trace, to_chrome_trace
+from repro.flight.recorder import (
+    MODES,
+    NULL_FLIGHT,
+    FlightRecord,
+    FlightRecorder,
+    InstantEvent,
+    NullFlightRecorder,
+    SpanEvent,
+    current,
+    session,
+)
+from repro.flight.report import (
+    OTHER,
+    LatencyBreakdown,
+    StageStats,
+    attribute,
+    breakdown_by_size,
+    breakdowns,
+)
+
+__all__ = [
+    "MODES",
+    "NULL_FLIGHT",
+    "OTHER",
+    "FlightRecord",
+    "FlightRecorder",
+    "InstantEvent",
+    "LatencyBreakdown",
+    "NullFlightRecorder",
+    "SpanEvent",
+    "StageStats",
+    "attribute",
+    "breakdown_by_size",
+    "breakdowns",
+    "current",
+    "save_chrome_trace",
+    "session",
+    "to_chrome_trace",
+]

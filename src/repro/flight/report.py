@@ -1,0 +1,195 @@
+"""Latency-breakdown attribution over flight records.
+
+A request's spans form a call tree over its ``[issue_ps, complete_ps)``
+window — the RMW-buffer span nests inside the DIMM-LSQ residency, which
+nests inside the iMC queue residency.  To decompose the end-to-end
+latency into *disjoint* per-stage shares we sweep the window and charge
+every instant to the **innermost** span covering it (latest start wins;
+ties go to the span that ends first, then to the most deeply recorded
+one).  Time covered by no span is charged to ``"other"``.
+
+This construction guarantees that per-request stage durations sum
+*exactly* to the request's end-to-end latency, so the per-stage means of
+a :class:`LatencyBreakdown` sum to the mean latency — the invariant the
+acceptance tests check.  Spans past ``complete_ps`` (a store's
+asynchronous drain to media after its ADR accept) are clipped out of the
+breakdown but still appear in the exported trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, floor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.flight.recorder import FlightRecord
+
+#: stage name charged with time no station span covers
+OTHER = "other"
+
+
+def attribute(record: FlightRecord) -> Dict[str, int]:
+    """Disjoint per-station time shares of one request (picoseconds).
+
+    Values sum exactly to ``record.latency_ps``; uncovered time is
+    returned under :data:`OTHER`.
+    """
+    lo, hi = record.issue_ps, record.complete_ps
+    if hi <= lo:
+        return {}
+    clipped: List[Tuple[int, int, str, int]] = []
+    for index, span in enumerate(record.spans):
+        start = span.start_ps if span.start_ps > lo else lo
+        end = span.end_ps if span.end_ps < hi else hi
+        if end > start:
+            clipped.append((start, end, span.station, index))
+
+    shares: Dict[str, int] = {}
+    if not clipped:
+        shares[OTHER] = hi - lo
+        return shares
+
+    bounds = sorted({lo, hi, *(c[0] for c in clipped), *(c[1] for c in clipped)})
+    for left, right in zip(bounds, bounds[1:]):
+        owner = OTHER
+        best: Optional[Tuple[int, int, int]] = None
+        for start, end, station, index in clipped:
+            if start <= left and end >= right:
+                # innermost wins: latest start, then earliest end, then
+                # deepest (most recently recorded) span
+                key = (start, -end, index)
+                if best is None or key > best:
+                    best = key
+                    owner = station
+        shares[owner] = shares.get(owner, 0) + (right - left)
+    return shares
+
+
+def _pct(ordered: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile of a pre-sorted sequence."""
+    if not ordered:
+        return 0.0
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low, high = int(floor(rank)), int(ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+@dataclass
+class StageStats:
+    """Distribution of one stage's per-request latency share."""
+
+    station: str
+    mean_ps: float
+    p50_ps: float
+    p99_ps: float
+    #: fraction of total mean latency attributed to this stage
+    share: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"mean_ps": self.mean_ps, "p50_ps": self.p50_ps,
+                "p99_ps": self.p99_ps, "share": self.share}
+
+
+@dataclass
+class LatencyBreakdown:
+    """Per-stage decomposition of end-to-end latency for one op kind."""
+
+    op: str
+    count: int
+    mean_ps: float
+    p50_ps: float
+    p99_ps: float
+    stages: List[StageStats] = field(default_factory=list)
+    #: stage with the largest mean share (never :data:`OTHER` unless it
+    #: is the only stage)
+    bottleneck: str = ""
+
+    @classmethod
+    def from_records(cls, records: Iterable[FlightRecord],
+                     op: Optional[str] = None) -> "LatencyBreakdown":
+        """Aggregate attribution over ``records`` (optionally one op)."""
+        selected = [r for r in records
+                    if (op is None or r.op == op) and r.complete_ps > r.issue_ps]
+        if not selected:
+            return cls(op=op or "all", count=0, mean_ps=0.0,
+                       p50_ps=0.0, p99_ps=0.0)
+        per_request = [attribute(r) for r in selected]
+        stations = sorted({s for shares in per_request for s in shares})
+        totals = sorted(r.latency_ps for r in selected)
+        mean_total = sum(totals) / len(totals)
+
+        stages: List[StageStats] = []
+        for station in stations:
+            values = sorted(shares.get(station, 0) for shares in per_request)
+            mean = sum(values) / len(values)
+            stages.append(StageStats(
+                station=station,
+                mean_ps=mean,
+                p50_ps=_pct(values, 50),
+                p99_ps=_pct(values, 99),
+                share=mean / mean_total if mean_total else 0.0,
+            ))
+        stages.sort(key=lambda s: -s.mean_ps)
+        named = [s for s in stages if s.station != OTHER] or stages
+        return cls(
+            op=op or "all",
+            count=len(selected),
+            mean_ps=mean_total,
+            p50_ps=_pct(totals, 50),
+            p99_ps=_pct(totals, 99),
+            stages=stages,
+            bottleneck=named[0].station if named else "",
+        )
+
+    def render(self) -> str:
+        """Aligned-text stage table (nanoseconds)."""
+        head = (f"latency breakdown [{self.op}] n={self.count} "
+                f"mean={self.mean_ps / 1000:.1f}ns "
+                f"p50={self.p50_ps / 1000:.1f}ns "
+                f"p99={self.p99_ps / 1000:.1f}ns")
+        if not self.stages:
+            return head + "\n  (no records)"
+        rows = [head,
+                f"  {'stage':<16} {'mean ns':>9} {'p50 ns':>9} "
+                f"{'p99 ns':>9} {'share':>6}"]
+        for stage in self.stages:
+            marker = " <- bottleneck" if stage.station == self.bottleneck else ""
+            rows.append(
+                f"  {stage.station:<16} {stage.mean_ps / 1000:>9.1f} "
+                f"{stage.p50_ps / 1000:>9.1f} {stage.p99_ps / 1000:>9.1f} "
+                f"{stage.share:>6.1%}{marker}")
+        return "\n".join(rows)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe form (attached to ``ExperimentResult.flight``)."""
+        return {
+            "op": self.op,
+            "count": self.count,
+            "mean_ps": self.mean_ps,
+            "p50_ps": self.p50_ps,
+            "p99_ps": self.p99_ps,
+            "bottleneck": self.bottleneck,
+            "stages": {s.station: s.as_dict() for s in self.stages},
+        }
+
+
+def breakdowns(records: Sequence[FlightRecord]
+               ) -> Dict[str, LatencyBreakdown]:
+    """One :class:`LatencyBreakdown` per op kind present in ``records``."""
+    ops = sorted({r.op for r in records})
+    return {op: LatencyBreakdown.from_records(records, op=op) for op in ops}
+
+
+def breakdown_by_size(records: Sequence[FlightRecord]
+                      ) -> Dict[Tuple[str, int], LatencyBreakdown]:
+    """One breakdown per (op, access size) point — the table the paper's
+    "why is this slow at 16MB" questions need."""
+    keys = sorted({(r.op, r.size) for r in records})
+    out: Dict[Tuple[str, int], LatencyBreakdown] = {}
+    for op, size in keys:
+        subset = [r for r in records if r.op == op and r.size == size]
+        out[(op, size)] = LatencyBreakdown.from_records(subset, op=op)
+    return out

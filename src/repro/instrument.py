@@ -210,13 +210,20 @@ class Collection:
 
     def __init__(self) -> None:
         self._systems: List[object] = []
+        self._frozen: Optional[Dict[str, Number]] = None
 
     def __enter__(self) -> "Collection":
         _ACTIVE_COLLECTIONS.append(self)
+        self._frozen = None
         return self
 
     def __exit__(self, *exc) -> None:
         _ACTIVE_COLLECTIONS.remove(self)
+        # Freeze the merged snapshot now: gauges are pull-style, so a
+        # system that keeps running after the experiment ends (reused
+        # across experiments, exercised by a later harness step) would
+        # otherwise silently mutate this collection's view of the past.
+        self._frozen = self._merge_live()
 
     def register(self, system: object) -> None:
         self._systems.append(system)
@@ -231,7 +238,17 @@ class Collection:
         busy/blocked-time gauges add naturally; snapshot consumers that
         need per-system data can query the systems directly).  The
         special key ``systems`` counts contributors.
+
+        While the collection is active this is a live view; once the
+        ``with`` block exits the snapshot taken at exit time is returned,
+        so later activity on the same systems cannot retroactively change
+        an experiment's recorded stats.
         """
+        if self._frozen is not None:
+            return dict(self._frozen)
+        return self._merge_live()
+
+    def _merge_live(self) -> Dict[str, Number]:
         merged: Dict[str, Number] = {}
         for system in self._systems:
             snapshot_of = getattr(system, "instrument_snapshot", None)

@@ -57,12 +57,15 @@ class WearLeveler:
         capacity_bytes: int,
         stats: Optional[StatsRegistry] = None,
         track_line_wear: bool = False,
+        flight=None,
     ) -> None:
+        from repro.flight.recorder import NULL_FLIGHT
         self.config = config
         self.capacity_bytes = capacity_bytes
         self.nblocks = max(1, capacity_bytes // config.block_bytes)
         self.stats = stats or StatsRegistry()
         self.track_line_wear = track_line_wear
+        self.flight = flight if flight is not None else NULL_FLIGHT
 
         self._write_counts: Dict[int, int] = {}
         self.migration_counts: Dict[int, int] = {}  # block -> migrations
@@ -130,16 +133,25 @@ class WearLeveler:
             self._migrations.add()
             self.migration_counts[block] = self.migration_counts.get(block, 0) + 1
             self._stall_ps.add(end - now)
+            if self.flight.active:
+                self.flight.span("media.wear", now, end, phase="migrate",
+                                 block=f"0x{block * cfg.block_bytes:x}")
             return end, True
         self._write_counts[block] = count
         if ready > now:
             self._stall_ps.add(ready - now)
+            if self.flight.active:
+                self.flight.span("media.wear", now, ready, phase="stall")
         return ready, False
 
     def on_read(self, addr: int, now: int) -> int:
         """Reads also stall while their block is mid-migration."""
         blocked = self._blocked_until.get(self._block_of(addr), 0)
-        return blocked if blocked > now else now
+        if blocked > now:
+            if self.flight.active:
+                self.flight.span("media.wear", now, blocked, phase="stall")
+            return blocked
+        return now
 
     @property
     def migrations(self) -> int:

@@ -42,10 +42,13 @@ class XPointConfig:
 class XPointMedia:
     """Banked 3D-XPoint media with 256B access units."""
 
-    def __init__(self, config: XPointConfig, stats: StatsRegistry = None) -> None:
+    def __init__(self, config: XPointConfig, stats: StatsRegistry = None,
+                 flight=None) -> None:
+        from repro.flight.recorder import NULL_FLIGHT
         self.config = config
         self.banks = BankedServer(config.npartitions)
         self.stats = stats or StatsRegistry()
+        self.flight = flight if flight is not None else NULL_FLIGHT
         self._reads = self.stats.counter("media.reads")
         self._writes = self.stats.counter("media.writes")
         self._bytes_read = self.stats.counter("media.bytes_read")
@@ -65,7 +68,13 @@ class XPointMedia:
         else:
             self._reads.add()
             self._bytes_read.add(cfg.granularity)
-        return self.banks.serve(self._partition_of(media_addr), now, service)
+        partition = self._partition_of(media_addr)
+        done = self.banks.serve(partition, now, service)
+        if self.flight.active:
+            self.flight.span("media", now, done,
+                             phase="write" if is_write else "read",
+                             partition=partition)
+        return done
 
     def access_block(self, media_addr: int, nbytes: int, is_write: bool, now: int) -> int:
         """Access ``nbytes`` (e.g. a 4KB AIT entry fill) as parallel 256B

@@ -49,9 +49,12 @@ class LazyCache:
     """Two-level inclusive write cache with a WLB of hot addresses."""
 
     def __init__(self, config: Optional[LazyCacheConfig] = None,
-                 stats: Optional[StatsRegistry] = None) -> None:
+                 stats: Optional[StatsRegistry] = None,
+                 flight=None) -> None:
+        from repro.flight.recorder import NULL_FLIGHT
         self.config = config or LazyCacheConfig()
         self.stats = stats or StatsRegistry()
+        self.flight = flight if flight is not None else NULL_FLIGHT
         # WLB: wear-hot 256B block addresses eligible for caching
         self._wlb: "OrderedDict[int, bool]" = OrderedDict()
         self._wlb_entries = 64
@@ -79,8 +82,8 @@ class LazyCache:
 
     # -- write path -------------------------------------------------------
 
-    def absorb(self, block_addr: int) -> List[int]:
-        """Cache a write to a hot block.
+    def absorb(self, block_addr: int, now: int = 0) -> List[int]:
+        """Cache a write to a hot block at simulated time ``now``.
 
         Returns the list of dirty block addresses evicted (the caller
         writes those through to media).
@@ -100,6 +103,11 @@ class LazyCache:
             if dirty:
                 self._c_evicted.add()
                 evicted.append(victim)
+        if self.flight.active:
+            fl = self.flight
+            fl.instant("dimm.lazy", "absorb", now, block=f"0x{block_addr:x}")
+            for victim in evicted:
+                fl.instant("dimm.lazy", "evict", now, block=f"0x{victim:x}")
         return evicted
 
     def contains(self, block_addr: int) -> bool:

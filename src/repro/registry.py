@@ -38,6 +38,7 @@ from repro.baselines.pmep import PMEPModel
 from repro.baselines.quartz import QuartzModel
 from repro.baselines.slow_dram import dramsim2_ddr3, ramulator_ddr4, ramulator_pcm
 from repro.common.errors import UnknownTargetError
+from repro.flight.recorder import current as current_flight
 from repro.instrument import NULL_BUS, InstrumentBus, announce
 from repro.reference import OptaneReference
 from repro.target import TargetSystem
@@ -180,14 +181,19 @@ def derive_vans_config(
 def _build_vans(config: Optional[VansConfig] = None,
                 track_line_wear: bool = False,
                 instrument: bool = True,
+                flight=None,
                 **config_overrides: Any) -> VansSystem:
     cfg = derive_vans_config(config, **config_overrides)
     return VansSystem(cfg, track_line_wear=track_line_wear,
-                      instrument=_bus(instrument))
+                      instrument=_bus(instrument),
+                      flight=flight if flight is not None else current_flight())
 
 
-def _build_memory_mode(instrument: bool = True, **kwargs: Any) -> MemoryModeSystem:
-    return MemoryModeSystem(instrument=_bus(instrument), **kwargs)
+def _build_memory_mode(instrument: bool = True, flight=None,
+                       **kwargs: Any) -> MemoryModeSystem:
+    return MemoryModeSystem(
+        instrument=_bus(instrument),
+        flight=flight if flight is not None else current_flight(), **kwargs)
 
 
 def _passthrough(builder: Callable[..., TargetSystem]):
@@ -195,7 +201,13 @@ def _passthrough(builder: Callable[..., TargetSystem]):
         # The DRAM-era baselines have no bus-wired internals; their
         # stats registries already feed instrument_snapshot().
         del instrument
-        return builder(**kwargs)
+        system = builder(**kwargs)
+        flight = current_flight()
+        if flight.enabled:
+            # no internal stations, but submit() still records op-level
+            # begin/complete so baselines appear in flight reports
+            system.flight = flight
+        return system
     return _build
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.engine.request import CACHE_LINE, Op, Request
+from repro.flight.recorder import NULL_FLIGHT
 
 
 class TargetSystem(ABC):
@@ -19,6 +20,10 @@ class TargetSystem(ABC):
 
     #: short identifier used in reports
     name: str = "target"
+
+    #: per-request flight recorder (instrumented systems overwrite this
+    #: instance-side; the class default is the zero-cost no-op)
+    flight = NULL_FLIGHT
 
     @abstractmethod
     def read(self, addr: int, now: int) -> int:
@@ -38,7 +43,16 @@ class TargetSystem(ABC):
         return now
 
     def submit(self, request: Request) -> Request:
-        """Execute one :class:`Request`, filling its timestamps."""
+        """Execute one :class:`Request`, filling its timestamps.
+
+        When a flight recorder is attached and samples this request, the
+        resulting :class:`~repro.flight.FlightRecord` (tagged with the
+        request id and exact op name) is hung on ``request.flight``.
+        """
+        fl = self.flight
+        if fl.enabled:
+            fl.begin(request.op.name.lower(), request.addr, request.size,
+                     issue_ps=request.issue_ps, req_id=request.req_id)
         if request.op is Op.FENCE:
             request.accept_ps = request.issue_ps
             request.complete_ps = self.fence(request.issue_ps)
@@ -48,6 +62,11 @@ class TargetSystem(ABC):
         else:
             request.accept_ps = request.issue_ps
             request.complete_ps = self.read(request.addr, request.issue_ps)
+        if fl.enabled:
+            fl.end(request.complete_ps)
+            record = fl.last
+            if record is not None and record.req_id == request.req_id:
+                request.flight = record
         return request
 
     def warm_fill(self, start_addr: int, length: int) -> None:

@@ -1,0 +1,50 @@
+"""Shared ``--flight`` option wiring for the command-line tools.
+
+Every CLI that drives a target supports the same three flags; this
+module owns adding them to a parser, turning them into a
+:class:`~repro.flight.FlightRecorder`, and rendering the post-run
+report (per-op latency breakdowns + optional Chrome trace export).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from repro.flight import FlightRecorder, breakdowns, save_chrome_trace
+
+
+def add_flight_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--flight", action="store_true",
+                        help="record per-request flight spans and print "
+                             "per-op latency breakdowns")
+    parser.add_argument("--flight-sample", type=int, default=0, metavar="N",
+                        help="sample 1 in N requests (implies --flight)")
+    parser.add_argument("--flight-out", metavar="PATH",
+                        help="export sampled records as a Chrome/Perfetto "
+                             "trace.json (implies --flight)")
+
+
+def recorder_from_args(args: argparse.Namespace) -> Optional[FlightRecorder]:
+    """A recorder matching the parsed flags, or ``None`` when off."""
+    if not (args.flight or args.flight_sample or args.flight_out):
+        return None
+    if args.flight_sample > 1:
+        return FlightRecorder(mode="every", every=args.flight_sample)
+    return FlightRecorder(mode="all")
+
+
+def report_flight(recorder: Optional[FlightRecorder],
+                  args: argparse.Namespace) -> None:
+    """Print breakdowns and export the trace after a recorded run."""
+    if recorder is None:
+        return
+    summary = recorder.sampling_summary()
+    print(f"\nflight: {summary['kept']}/{summary['seen']} requests recorded "
+          f"(mode={summary['mode']})")
+    for _op, breakdown in breakdowns(recorder.records).items():
+        print(breakdown.render())
+    if args.flight_out:
+        events = save_chrome_trace(recorder.records, args.flight_out,
+                                   extra_metadata={"sampling": summary})
+        print(f"[exported {events} trace events to {args.flight_out}]")

@@ -13,11 +13,16 @@ import argparse
 import sys
 from typing import List, Optional
 
+from contextlib import nullcontext
+
 from repro import registry
 from repro.common.errors import UnknownTargetError
 from repro.common.units import pretty_size
+from repro.flight import session as flight_session
 from repro.lens.probers.buffer import BufferProber
 from repro.lens.report import characterize
+from repro.tools.flight_opts import (add_flight_args, recorder_from_args,
+                                     report_flight)
 from repro.tools.targets import make_target
 
 
@@ -31,6 +36,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run only the (fast) buffer prober")
     parser.add_argument("--overwrite-iterations", type=int, default=40000,
                         help="overwrite test length for the policy prober")
+    add_flight_args(parser)
     args = parser.parse_args(argv)
 
     try:
@@ -38,8 +44,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except UnknownTargetError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    recorder = recorder_from_args(args)
+    session = flight_session(recorder) if recorder is not None else nullcontext()
     if args.buffers:
-        report = BufferProber(factory).run()
+        with session:
+            report = BufferProber(factory).run()
         caps = [pretty_size(c) for c in report.read_capacities]
         wcaps = [pretty_size(c) for c in report.write_capacities]
         print(f"target: {args.target}")
@@ -51,17 +60,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"hierarchy:       {report.hierarchy}")
         else:
             print("entry sizes / hierarchy: n/a (no buffer structure)")
+        report_flight(recorder, args)
         return 0
 
     interleaved = None
     if args.target == "vans":
         interleaved = registry.factory("vans-6dimm")
-    chara = characterize(
-        factory,
-        interleaved_factory=interleaved,
-        overwrite_iterations=args.overwrite_iterations,
-    )
+    with session:
+        chara = characterize(
+            factory,
+            interleaved_factory=interleaved,
+            overwrite_iterations=args.overwrite_iterations,
+        )
     print(chara.render())
+    report_flight(recorder, args)
     return 0
 
 

@@ -16,15 +16,20 @@ import argparse
 import sys
 from typing import List, Optional
 
+from contextlib import nullcontext
+
 from repro import registry
 from repro.common.errors import UnknownTargetError
 from repro.common.rng import make_rng
 from repro.engine.request import CACHE_LINE, Op
+from repro.flight import session as flight_session
+from repro.tools.flight_opts import (add_flight_args, recorder_from_args,
+                                     report_flight)
 from repro.tools.targets import make_target
 from repro.vans.tracing import TraceRecord, load_trace, replay, save_trace
 
 
-def _generate(pattern: str, region: int, ops: int, seed: int):
+def generate_pattern(pattern: str, region: int, ops: int, seed: int):
     rng = make_rng(seed, f"trace-{pattern}")
     lines = max(1, region // CACHE_LINE)
     if pattern == "chase":
@@ -61,26 +66,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--target", default="vans",
         help="system to replay against "
              f"({', '.join(registry.target_names(systems_only=True))})")
+    add_flight_args(rep)
 
     args = parser.parse_args(argv)
     if args.command == "capture":
         count = save_trace(
-            _generate(args.pattern, args.region, args.ops, args.seed),
+            generate_pattern(args.pattern, args.region, args.ops, args.seed),
             args.output)
         print(f"wrote {count} records to {args.output}")
         return 0
 
+    recorder = recorder_from_args(args)
+    session = flight_session(recorder) if recorder is not None else nullcontext()
     try:
-        target = make_target(args.target)()
+        with session:
+            target = make_target(args.target)()
+            result = replay(load_trace(args.input), target)
     except UnknownTargetError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = replay(load_trace(args.input), target)
     print(f"target: {target.name}")
     print(f"reads:  {result.reads.count:>8}  mean {result.read_mean_ns:.1f} ns")
     print(f"writes: {result.writes.count:>8}  mean {result.write_mean_ns:.1f} ns")
     print(f"fences: {result.fences}")
     print(f"simulated time: {result.end_ps / 1e9:.3f} ms")
+    report_flight(recorder, args)
     return 0
 
 

@@ -40,13 +40,16 @@ class DdrtChannel:
         command_ps: int = 8 * NS,   # one request/grant packet
         data_ps: int = 6 * NS,      # one 64B data beat group
         stats: Optional[StatsRegistry] = None,
+        flight=None,
     ) -> None:
+        from repro.flight.recorder import NULL_FLIGHT
         self.credits = FcfsStation(command_slots)
         self.command_bus = Server()
         self.data_bus = Server()
         self.command_ps = command_ps
         self.data_ps = data_ps
         self.stats = stats or StatsRegistry()
+        self.flight = flight if flight is not None else NULL_FLIGHT
         self._c_reads = self.stats.counter("ddrt.read_txns")
         self._c_writes = self.stats.counter("ddrt.write_txns")
 
@@ -55,11 +58,17 @@ class DdrtChannel:
         command (credit acquired + command bus transfer)."""
         self._c_reads.add()
         granted = self.credits.admit(now)
-        return self.command_bus.serve(granted, self.command_ps)
+        done = self.command_bus.serve(granted, self.command_ps)
+        if self.flight.active:
+            self.flight.span("ddrt.credits", now, granted, phase="wait")
+            self.flight.span("ddrt.cmd_bus", granted, done, phase="request")
+        return done
 
     def return_read_data(self, ready: int) -> int:
         """DIMM pushes the 64B payload back; frees the credit."""
         done = self.data_bus.serve(ready, self.data_ps)
+        if self.flight.active:
+            self.flight.span("ddrt.data_bus", ready, done, phase="return")
         self.credits.retire_at(done)
         return done
 
@@ -69,6 +78,10 @@ class DdrtChannel:
         granted = self.credits.admit(now)
         cmd_done = self.command_bus.serve(granted, self.command_ps)
         data_done = self.data_bus.serve(cmd_done, self.data_ps)
+        if self.flight.active:
+            self.flight.span("ddrt.credits", now, granted, phase="wait")
+            self.flight.span("ddrt.cmd_bus", granted, cmd_done, phase="send")
+            self.flight.span("ddrt.data_bus", cmd_done, data_done, phase="send")
         return data_done
 
     def complete_write(self, accepted: int) -> None:

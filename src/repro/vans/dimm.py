@@ -49,11 +49,14 @@ class NvramDimm:
     """One Optane-like DIMM as an FCFS timing pipeline."""
 
     def __init__(self, config: DimmConfig, stats: Optional[StatsRegistry] = None,
-                 track_line_wear: bool = False, instrument=None) -> None:
+                 track_line_wear: bool = False, instrument=None,
+                 flight=None) -> None:
+        from repro.flight.recorder import NULL_FLIGHT
         from repro.instrument import NULL_BUS
         self.config = config
         self.stats = stats or StatsRegistry()
         self.instrument = instrument if instrument is not None else NULL_BUS
+        self.flight = flight if flight is not None else NULL_FLIGHT
         t = config.timing
         self.t = t
 
@@ -66,17 +69,19 @@ class NvramDimm:
             nchannels=1,
             capacity_bytes=config.dram_capacity_bytes,
         )
-        self.media = XPointMedia(config.media, stats=self.stats)
+        self.media = XPointMedia(config.media, stats=self.stats,
+                                 flight=self.flight)
         self.wear = WearLeveler(
             config.wear,
             capacity_bytes=config.media.capacity_bytes,
             stats=self.stats,
             track_line_wear=track_line_wear,
+            flight=self.flight,
         )
         self.lazy = None
         if config.lazy_cache:
             from repro.optim.lazycache import LazyCache
-            self.lazy = LazyCache(stats=self.stats)
+            self.lazy = LazyCache(stats=self.stats, flight=self.flight)
 
         # Optional SRAM cache of hot AIT translation records (a
         # design-space knob; disabled in the validated configuration).
@@ -168,12 +173,20 @@ class NvramDimm:
             if page in self._table_cache:
                 self._table_cache.move_to_end(page)
                 self.stats.counter("dimm.table_cache_hits").add()
-                return now + self.config.ait.table_cache_hit_ps
+                done = now + self.config.ait.table_cache_hit_ps
+                if self.flight.active:
+                    self.flight.span("dimm.ait", now, done, phase="table",
+                                     source="sram")
+                return done
             self.stats.counter("dimm.table_cache_misses").add()
             self._table_cache[page] = True
             if len(self._table_cache) > cache_entries:
                 self._table_cache.popitem(last=False)
-        return self.dram.access(self._table_addr(addr), False, now)
+        done = self.dram.access(self._table_addr(addr), False, now)
+        if self.flight.active:
+            self.flight.span("dimm.ait", now, done, phase="table",
+                             source="dram")
+        return done
 
     def _ait_insert(self, page: int, now: int) -> int:
         """Allocate a buffer slot for ``page`` (LRU evict); returns slot."""
@@ -199,14 +212,18 @@ class NvramDimm:
         block = self._block_of(addr)
         done_table = self._ait_lookup(addr, now)
 
+        fl = self.flight
         slot = self._ait_tags.get(page)
         if slot is not None:
             self._ait_tags.move_to_end(page)
             self._c_ait_hits.add()
             offset = block - page
-            return self.dram.access_block(
+            done = self.dram.access_block(
                 self._slot_addr(slot, offset), cfg.rmw.entry_bytes, False, done_table
             )
+            if fl.active:
+                fl.span("dimm.ait", done_table, done, phase="buffer_hit")
+            return done
 
         # AIT miss: 4KB media fill.
         self._c_ait_misses.add()
@@ -214,8 +231,10 @@ class NvramDimm:
         start = self.wear.on_read(page, done_table)
         gran = cfg.media.granularity
         # Critical 256B first.
-        first = self.media.access(self.wear.translate(block), False, start)
-        first = self.media_port.serve(first, MEDIA_PORT_READ_PS)
+        array_done = self.media.access(self.wear.translate(block), False, start)
+        first = self.media_port.serve(array_done, MEDIA_PORT_READ_PS)
+        if fl.active:
+            fl.span("dimm.media_port", array_done, first, phase="read")
         # Background: the remaining units of the 4KB entry.
         fill_done = first
         unit = page
@@ -252,6 +271,8 @@ class NvramDimm:
 
         ready, _migrated = self.wear.on_write(block, done_table)
         handoff = self.media_port.serve(ready, MEDIA_PORT_WRITE_PS)
+        if self.flight.active:
+            self.flight.span("dimm.media_port", ready, handoff, phase="write")
         durable = self.media.access(self.wear.translate(block), True, handoff)
 
         slot = self._ait_tags.get(page)
@@ -295,23 +316,38 @@ class NvramDimm:
         admit = self.lsq.admit(now)
         start = self._turnaround(False, admit + t.lsq_proc_ps)
         block = self._block_of(addr)
+        fl = self.flight
+        if fl.active:
+            fl.span("dimm.lsq", now, admit, phase="wait")
+            fl.span("dimm.lsq", admit, start, phase="proc")
 
         if self.lazy is not None and self.lazy.contains(block):
             # The Lazy cache holds the newest copy of wear-hot blocks.
             self._c_rmw_hits.add()
             ready = self.engine.serve(start, self.lazy.config.hit_ps)
+            if fl.active:
+                fl.span("dimm.lazy", start, ready, phase="hit")
         elif self._rmw_touch(block):
             self._c_rmw_hits.add()
             ready = self.engine.serve(start, t.rmw_hit_ps)
+            if fl.active:
+                fl.span("dimm.rmw", start, ready, phase="hit")
         else:
             self._c_rmw_misses.add()
             self._c_rmw_fill_bytes.add(self.config.rmw.entry_bytes)
-            start = self.engine.serve(start, t.engine_op_ps)
-            ready = self._ait_read_block(addr, start)
+            op_done = self.engine.serve(start, t.engine_op_ps)
+            if fl.active:
+                fl.span("dimm.engine", start, op_done, phase="op")
+            ready = self._ait_read_block(addr, op_done)
+            if fl.active:
+                fl.span("dimm.rmw", ready, ready + t.rmw_fill_ps,
+                        phase="fill")
             ready += t.rmw_fill_ps
             self._rmw_insert(block)
 
         done = self.bus.serve(ready, t.bus_line_ps) + t.ddrt_grant_ps
+        if fl.active:
+            fl.span("dimm.return_bus", ready, done, phase="return")
         self.lsq.retire_at(done)
         return done
 
@@ -329,12 +365,19 @@ class NvramDimm:
         arrive = self._turnaround(True, admit + t.lsq_proc_ps)
         block = self._block_of(addr)
         line = align_down(addr, CACHE_LINE)
+        fl = self.flight
+        if fl.active:
+            fl.span("dimm.lsq", now, admit, phase="wait")
+            fl.span("dimm.lsq", admit, arrive, phase="proc")
 
         if (
             self._wc_block == block
             and line not in self._wc_lines
             and arrive - self._wc_last_ps <= self.config.lsq.combine_window_ps
         ):
+            if fl.active:
+                fl.instant("dimm.lsq", "write_combine", arrive,
+                           block=f"0x{block:x}")
             self._wc_lines.add(line)
             self._wc_last_ps = arrive
             if len(self._wc_lines) * CACHE_LINE >= self.config.lsq.combine_bytes:
@@ -375,13 +418,17 @@ class NvramDimm:
                 self.lazy.mark_hot(block)
             if self.lazy.contains(block) or self.lazy.is_hot(block):
                 done = self.engine.serve(now, self.lazy.config.hit_ps)
-                for victim in self.lazy.absorb(block):
+                if self.flight.active:
+                    self.flight.span("dimm.lazy", now, done, phase="absorb")
+                for victim in self.lazy.absorb(block, now=done):
                     _, durable = self._ait_write_block(victim, 256, done)
                     done = max(done, durable)
                 self._wc_drain_ps = done
                 return done
 
         start = self.engine.serve(now, t.engine_op_ps)
+        if self.flight.active:
+            self.flight.span("dimm.engine", now, start, phase="op")
         partial = nbytes < self.config.lsq.combine_bytes
         if partial:
             # Sub-256B store: read-modify-write.  The merge data comes
@@ -408,7 +455,10 @@ class NvramDimm:
     def flush(self, now: int) -> int:
         """Fence: flush pending combining state and drain the LSQ."""
         done = self._flush_wc(now)
-        return max(done, self.lsq.drain_time(now))
+        drain = self.lsq.drain_time(now)
+        if self.flight.active:
+            self.flight.span("dimm.lsq", now, drain, phase="drain")
+        return max(done, drain)
 
     # ------------------------------------------------------------------
     # experiment support

@@ -31,18 +31,22 @@ class IntegratedMemoryController:
     """iMC front end over one or more NVRAM DIMMs."""
 
     def __init__(self, config: VansConfig, stats: Optional[StatsRegistry] = None,
-                 track_line_wear: bool = False, instrument=None) -> None:
+                 track_line_wear: bool = False, instrument=None,
+                 flight=None) -> None:
+        from repro.flight.recorder import NULL_FLIGHT
         from repro.instrument import NULL_BUS
         self.config = config
         self.stats = stats or StatsRegistry()
         self.instrument = instrument if instrument is not None else NULL_BUS
+        self.flight = flight if flight is not None else NULL_FLIGHT
         self.interleaver = Interleaver(
             config.ndimms, config.interleave_bytes, config.interleaved
         )
         self.dimms: List[NvramDimm] = [
             NvramDimm(config.dimm, stats=self.stats,
                       track_line_wear=track_line_wear,
-                      instrument=self.instrument.scope(f"dimm{i}"))
+                      instrument=self.instrument.scope(f"dimm{i}"),
+                      flight=self.flight)
             for i in range(config.ndimms)
         ]
         self.wpqs: List[FcfsStation] = [
@@ -62,7 +66,7 @@ class IntegratedMemoryController:
         self.ddrt = None
         if config.dimm.timing.ddrt_detailed:
             from repro.vans.ddrt import DdrtChannel
-            self.ddrt = [DdrtChannel(stats=self.stats)
+            self.ddrt = [DdrtChannel(stats=self.stats, flight=self.flight)
                          for _ in range(config.ndimms)]
         self._c_reads = self.stats.counter("imc.reads")
         self._c_writes = self.stats.counter("imc.writes")
@@ -75,12 +79,18 @@ class IntegratedMemoryController:
         dimm_idx, local = self.interleaver.map(addr)
         rpq = self.rpqs[dimm_idx]
         start = rpq.admit(now)
+        fl = self.flight
+        if fl.active:
+            fl.span("imc.rpq", now, start, phase="wait", channel=dimm_idx)
         if self.ddrt is not None:
             channel = self.ddrt[dimm_idx]
             cmd_done = channel.send_read_request(start)
             ready = self.dimms[dimm_idx].read_line(local, cmd_done)
             done = channel.return_read_data(ready)
         else:
+            if fl.active:
+                fl.span("ddrt.link", start, start + t.ddrt_request_ps,
+                        phase="request", channel=dimm_idx)
             done = self.dimms[dimm_idx].read_line(local,
                                                   start + t.ddrt_request_ps)
         rpq.retire_at(done)
@@ -98,6 +108,9 @@ class IntegratedMemoryController:
         dimm_idx, local = self.interleaver.map(addr)
         wpq = self.wpqs[dimm_idx]
         accept = wpq.admit(now)
+        fl = self.flight
+        if fl.active:
+            fl.span("imc.wpq", now, accept, phase="wait", channel=dimm_idx)
         if self.ddrt is not None:
             channel = self.ddrt[dimm_idx]
             xfer_done = channel.send_write(accept)
@@ -107,6 +120,9 @@ class IntegratedMemoryController:
         else:
             xfer_done = self.write_buses[dimm_idx].serve(accept,
                                                          t.wpq_xfer_ps)
+            if fl.active:
+                fl.span("imc.write_bus", accept, xfer_done, phase="drain",
+                        channel=dimm_idx)
             lsq_admit = self.dimms[dimm_idx].write_line(local, xfer_done,
                                                         nbytes)
         wpq.retire_at(max(lsq_admit, xfer_done))
@@ -116,6 +132,11 @@ class IntegratedMemoryController:
         """Drain every WPQ and DIMM LSQ; returns the global drain time."""
         self._c_fences.add()
         done = now
-        for wpq, dimm in zip(self.wpqs, self.dimms):
-            done = max(done, wpq.drain_time(now), dimm.flush(now))
+        fl = self.flight
+        for channel, (wpq, dimm) in enumerate(zip(self.wpqs, self.dimms)):
+            wpq_done = wpq.drain_time(now)
+            if fl.active:
+                fl.span("imc.wpq", now, wpq_done, phase="drain",
+                        channel=channel)
+            done = max(done, wpq_done, dimm.flush(now))
         return done

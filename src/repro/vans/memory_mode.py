@@ -30,11 +30,15 @@ class MemoryModeSystem(TargetSystem):
         dram_timing: DDR4Timing = DDR4_2666,
         dram_channels: int = 4,
         instrument=None,
+        flight=None,
     ) -> None:
+        from repro.flight.recorder import NULL_FLIGHT
         from repro.instrument import NULL_BUS
         self.instrument = instrument if instrument is not None else NULL_BUS
+        self.flight = flight if flight is not None else NULL_FLIGHT
         self.nvram = VansSystem(nvram_config,
-                                instrument=self.instrument.scope("nvram"))
+                                instrument=self.instrument.scope("nvram"),
+                                flight=self.flight)
         self.dram = DramDevice(dram_timing, nchannels=dram_channels,
                                capacity_bytes=dram_capacity)
         self.dram_capacity = dram_capacity
@@ -67,25 +71,49 @@ class MemoryModeSystem(TargetSystem):
         return done
 
     def read(self, addr: int, now: int) -> int:
+        fl = self.flight
+        if fl.enabled:
+            fl.begin("read", addr, CACHE_LINE, issue_ps=now)
         index, tag = self._locate(addr)
         entry = self._tags.get(index)
         if entry is not None and entry[0] == tag:
             self._c_hits.add()
-            return self.dram.access(addr % self.dram_capacity, False, now)
+            done = self.dram.access(addr % self.dram_capacity, False, now)
+            if fl.enabled:
+                fl.span("memmode.dram", now, done, phase="hit")
+                fl.end(done)
+            return done
         self._c_misses.add()
-        done = self._fill(index, tag, False, now)
-        return max(done, self.dram.access(addr % self.dram_capacity, True, done))
+        filled = self._fill(index, tag, False, now)
+        done = max(filled, self.dram.access(addr % self.dram_capacity, True,
+                                            filled))
+        if fl.enabled:
+            fl.span("memmode.dram", filled, done, phase="fill")
+            fl.end(done)
+        return done
 
     def write(self, addr: int, now: int) -> int:
+        fl = self.flight
+        if fl.enabled:
+            fl.begin("write", addr, CACHE_LINE, issue_ps=now)
         index, tag = self._locate(addr)
         entry = self._tags.get(index)
         if entry is not None and entry[0] == tag:
             self._c_hits.add()
             self._tags[index] = (tag, True)
-            return self.dram.access(addr % self.dram_capacity, True, now)
+            done = self.dram.access(addr % self.dram_capacity, True, now)
+            if fl.enabled:
+                fl.span("memmode.dram", now, done, phase="hit")
+                fl.end(done)
+            return done
         self._c_misses.add()
-        done = self._fill(index, tag, True, now)
-        return max(done, self.dram.access(addr % self.dram_capacity, True, done))
+        filled = self._fill(index, tag, True, now)
+        done = max(filled, self.dram.access(addr % self.dram_capacity, True,
+                                            filled))
+        if fl.enabled:
+            fl.span("memmode.dram", filled, done, phase="fill")
+            fl.end(done)
+        return done
 
     def fence(self, now: int) -> int:
         """Memory Mode offers no persistence; fences order nothing here."""

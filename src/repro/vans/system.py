@@ -23,14 +23,17 @@ class VansSystem(TargetSystem):
     """App Direct-mode NVRAM memory system (iMC + Optane-like DIMMs)."""
 
     def __init__(self, config: Optional[VansConfig] = None,
-                 track_line_wear: bool = False, instrument=None) -> None:
+                 track_line_wear: bool = False, instrument=None,
+                 flight=None) -> None:
+        from repro.flight.recorder import NULL_FLIGHT
         from repro.instrument import NULL_BUS
         self.config = config or VansConfig()
         self.stats = StatsRegistry()
         self.instrument = instrument if instrument is not None else NULL_BUS
+        self.flight = flight if flight is not None else NULL_FLIGHT
         self.imc = IntegratedMemoryController(
             self.config, stats=self.stats, track_line_wear=track_line_wear,
-            instrument=self.instrument.scope("imc"),
+            instrument=self.instrument.scope("imc"), flight=self.flight,
         )
         self.name = f"vans-{self.config.ndimms}dimm"
         self._hist_read = self.stats.histogram("vans.read_latency_ps")
@@ -41,20 +44,40 @@ class VansSystem(TargetSystem):
 
     def read(self, addr: int, now: int) -> int:
         t = self.config.dimm.timing
+        fl = self.flight
+        if fl.enabled:
+            fl.begin("read", addr, CACHE_LINE, issue_ps=now)
+            fl.span("cpu.frontend", now, now + t.frontend_read_ps,
+                    phase="read")
         done = self.imc.read(addr, now + t.frontend_read_ps)
+        if fl.enabled:
+            fl.end(done)
         if self._collect:
             self._hist_read.record(done - now)
         return done
 
     def write(self, addr: int, now: int) -> int:
         t = self.config.dimm.timing
+        fl = self.flight
+        if fl.enabled:
+            fl.begin("write", addr, CACHE_LINE, issue_ps=now)
+            fl.span("cpu.frontend", now, now + t.frontend_write_ps,
+                    phase="write")
         accept = self.imc.write(addr, now + t.frontend_write_ps)
+        if fl.enabled:
+            fl.end(accept)
         if self._collect:
             self._hist_write.record(accept - now)
         return accept
 
     def fence(self, now: int) -> int:
-        return self.imc.fence(now)
+        fl = self.flight
+        if fl.enabled:
+            fl.begin("fence", 0, 0, issue_ps=now)
+        done = self.imc.fence(now)
+        if fl.enabled:
+            fl.end(done)
+        return done
 
     def warm_fill(self, start_addr: int, length: int) -> None:
         """Pre-populate AIT/RMW tag state for a region (fast-forward)."""

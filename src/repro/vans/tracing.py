@@ -54,7 +54,14 @@ class TraceRecord:
             return cls(op=op)
         if len(parts) != 3:
             raise ReproError(f"malformed trace line: {line!r}")
-        return cls(op=op, addr=int(parts[1], 0), size=int(parts[2]))
+        try:
+            addr = int(parts[1], 0)
+            size = int(parts[2])
+        except ValueError as exc:
+            raise ReproError(f"malformed trace line: {line!r}") from exc
+        if addr < 0 or size <= 0:
+            raise ReproError(f"malformed trace line: {line!r}")
+        return cls(op=op, addr=addr, size=size)
 
 
 class TracingProxy(TargetSystem):

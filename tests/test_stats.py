@@ -46,6 +46,38 @@ class TestHistogram:
         assert h.max == 999
         assert h.mean == pytest.approx(499.5)
 
+    def test_percentile_extremes_survive_decimation(self):
+        """p100/p0 answer from tracked max/min even if decimation
+        dropped the extreme sample itself."""
+        h = Histogram("lat", max_samples=4)
+        for v in (1, 999, 2, 3):  # 999 lands on a decimated index
+            h.record(v)
+        assert 999 not in h._samples
+        assert h.percentile(100) == 999.0
+        lo = Histogram("lat", max_samples=4)
+        for v in (5, 0, 6, 7):
+            lo.record(v)
+        assert 0 not in lo._samples
+        assert lo.percentile(0) == 0.0
+
+    def test_dropped_counts_decimated_samples(self):
+        h = Histogram("lat", max_samples=4)
+        for v in (10, 20):
+            h.record(v)
+        assert h.dropped == 0
+        for v in (30, 40, 50):
+            h.record(v)
+        assert h.count == 5
+        assert h.dropped == h.count - len(h._samples) > 0
+
+    @given(st.lists(st.integers(0, 10**6), min_size=1, max_size=500))
+    def test_percentile_100_is_max_always(self, values):
+        h = Histogram("x", max_samples=16)
+        for v in values:
+            h.record(v)
+        assert h.percentile(100) == max(values)
+        assert h.percentile(0) == min(values)
+
     def test_stddev(self):
         h = Histogram("x")
         for v in (2, 4, 4, 4, 5, 5, 7, 9):

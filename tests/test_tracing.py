@@ -1,6 +1,7 @@
 """Trace capture / file round-trip / replay."""
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.common.errors import ReproError
 from repro.engine.request import Op
@@ -14,12 +15,52 @@ from repro.vans.tracing import (
     save_trace,
 )
 
+_MEM_OPS = [Op.READ, Op.WRITE, Op.WRITE_NT, Op.CLWB]
+
 
 def test_record_render_parse_roundtrip():
     for record in (TraceRecord(Op.READ, 0x1000, 64),
                    TraceRecord(Op.WRITE_NT, 0x40, 256),
                    TraceRecord(Op.FENCE)):
         assert TraceRecord.parse(record.render()) == record
+
+
+@given(op=st.sampled_from(_MEM_OPS),
+       addr=st.integers(0, (1 << 48) - 1),
+       size=st.integers(1, 1 << 16))
+def test_render_parse_roundtrip_property(op, addr, size):
+    record = TraceRecord(op, addr, size)
+    assert TraceRecord.parse(record.render()) == record
+
+
+@given(addr=st.integers(0, (1 << 48) - 1), size=st.integers(1, 1 << 16))
+def test_parse_accepts_decimal_and_hex_addresses(addr, size):
+    assert TraceRecord.parse(f"R {addr} {size}") == \
+        TraceRecord.parse(f"r {addr:#x} {size}")
+
+
+def test_fence_roundtrip_ignores_operands():
+    assert TraceRecord.parse(TraceRecord(Op.FENCE).render()) == \
+        TraceRecord(Op.FENCE)
+    assert TraceRecord.parse("f") == TraceRecord(Op.FENCE)
+
+
+@given(line=st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=40))
+def test_parse_never_leaks_non_repro_errors(line):
+    """Arbitrary printable garbage either parses or raises ReproError —
+    never ValueError/IndexError."""
+    try:
+        TraceRecord.parse(line)
+    except ReproError:
+        pass
+
+
+def test_parse_rejects_bad_numbers_and_negatives():
+    for line in ("R zz 64", "R 0x10 banana", "R -64 64", "R 0x10 0"):
+        with pytest.raises(ReproError):
+            TraceRecord.parse(line)
 
 
 def test_parse_rejects_garbage():
@@ -88,3 +129,31 @@ def test_capture_then_replay_reproduces_behaviour(tmp_path):
     assert result.reads.count == 50
     direct_ns = now / 50 / 1000.0
     assert result.end_ps / 50 / 1000.0 == pytest.approx(direct_ns, rel=0.05)
+
+
+def test_proxy_save_load_replay_is_bit_identical(tmp_path):
+    """Full loop: drive a proxied system with a mixed workload, persist
+    the capture, then replay both the in-memory records and the reloaded
+    file on fresh systems — all three end states must agree exactly
+    (integer-picosecond determinism, no drift through the file format)."""
+    proxy = TracingProxy(VansSystem())
+    now = 0
+    for i in range(30):
+        now = proxy.read((i * 4096) % (1 << 20), now)
+        now = proxy.write((i * 64) % 4096, now)
+        if i % 10 == 9:
+            now = proxy.fence(now)
+    direct_end = now
+
+    path = tmp_path / "cap.trace"
+    count = save_trace(proxy.records, path)
+    assert count == len(proxy.records)
+
+    from_memory = replay(proxy.records, VansSystem())
+    from_file = replay(load_trace(path), VansSystem())
+    assert from_file.end_ps == from_memory.end_ps == direct_end
+    assert from_file.reads.count == from_memory.reads.count == 30
+    assert from_file.writes.count == from_memory.writes.count == 30
+    assert from_file.fences == from_memory.fences == 3
+    assert from_file.reads.mean == from_memory.reads.mean
+    assert from_file.writes.max == from_memory.writes.max
