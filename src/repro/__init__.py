@@ -17,12 +17,14 @@ Public API tour:
 * ``repro.experiments`` — one module per paper table/figure.
 """
 
+# version first: submodules (telemetry.manifest) read it during import,
+# possibly while this package is still partially initialized.
+__version__ = "1.0.0"
+
 from repro.target import TargetSystem
 from repro.vans import VansConfig, VansSystem, MemoryModeSystem
 from repro.vans.config import optane_config
 from repro.reference import OptaneReference
-
-__version__ = "1.0.0"
 
 __all__ = [
     "TargetSystem",

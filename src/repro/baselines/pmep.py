@@ -45,16 +45,22 @@ class PMEPModel(TargetSystem):
 
     def read(self, addr: int, now: int) -> int:
         """DRAM access plus the injected constant NVRAM delay."""
-        done = self.dram.access(addr, False, now)
-        return done + self.read_delay_ps
+        done = self.dram.access(addr, False, now) + self.read_delay_ps
+        tel = self.telemetry
+        if tel.enabled:
+            tel.tick(done)
+        return done
 
     def write(self, addr: int, now: int) -> int:
         """Cached store write-back: PMEP only injects delay on demand
         loads, so store streams run at (throttled) DRAM speed — which is
         why PMEP ranks cached stores *above* nt-stores (Fig. 1a)."""
         start = self._throttle.serve(now, self._throttle_ps)
-        done = self.dram.access(addr, True, start)
-        return done + self.write_delay_ps
+        done = self.dram.access(addr, True, start) + self.write_delay_ps
+        tel = self.telemetry
+        if tel.enabled:
+            tel.tick(done)
+        return done
 
     def write_nt(self, addr: int, now: int) -> int:
         """Non-temporal store: the uncached path is serialized and slow

@@ -47,12 +47,20 @@ class QuartzModel(TargetSystem):
         return now
 
     def read(self, addr: int, now: int) -> int:
-        done = self.dram.access(addr, False, now)
-        return self._account(self.extra_read_ps, done)
+        done = self._account(self.extra_read_ps,
+                             self.dram.access(addr, False, now))
+        tel = self.telemetry
+        if tel.enabled:
+            tel.tick(done)
+        return done
 
     def write(self, addr: int, now: int) -> int:
-        done = self.dram.access(addr, True, now)
-        return self._account(self.extra_write_ps, done)
+        done = self._account(self.extra_write_ps,
+                             self.dram.access(addr, True, now))
+        tel = self.telemetry
+        if tel.enabled:
+            tel.tick(done)
+        return done
 
     @property
     def injected_stall_ps(self) -> int:

@@ -37,11 +37,19 @@ class SlowDramSystem(TargetSystem):
 
     def read(self, addr: int, now: int) -> int:
         self._c_reads.add()
-        return self.dram.access(addr, False, now + self.frontend_ps)
+        done = self.dram.access(addr, False, now + self.frontend_ps)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.tick(done)
+        return done
 
     def write(self, addr: int, now: int) -> int:
         self._c_writes.add()
-        return self.dram.access(addr, True, now + self.frontend_ps)
+        done = self.dram.access(addr, True, now + self.frontend_ps)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.tick(done)
+        return done
 
     def fence(self, now: int) -> int:
         return now

@@ -42,6 +42,11 @@ class Engine:
         self._seq = 0
         self._heap: List[Event] = []
         self._processed = 0
+        #: optional telemetry sampler ticked as the clock advances.  Kept
+        #: as a plain attribute (no import of repro.telemetry here) so the
+        #: kernel stays dependency-free; ``None`` costs one load + branch
+        #: per fired event.
+        self.telemetry: Optional[Any] = None
 
     @property
     def now(self) -> int:
@@ -77,10 +82,13 @@ class Engine:
         ``max_events`` callbacks have fired.  Returns the final time.
         """
         fired = 0
+        tel = self.telemetry
         while self._heap:
             event = self._heap[0]
             if until is not None and event.time > until:
                 self._now = until
+                if tel is not None and tel.enabled:
+                    tel.tick(self._now)
                 return self._now
             heapq.heappop(self._heap)
             if event.cancelled:
@@ -88,11 +96,15 @@ class Engine:
             self._now = event.time
             event.fn(*event.args)
             self._processed += 1
+            if tel is not None and tel.enabled:
+                tel.tick(self._now)
             fired += 1
             if max_events is not None and fired >= max_events:
                 break
         if until is not None and self._now < until:
             self._now = until
+            if tel is not None and tel.enabled:
+                tel.tick(self._now)
         return self._now
 
     def step(self) -> Optional[Tuple[int, Callable[..., Any]]]:
@@ -104,6 +116,9 @@ class Engine:
             self._now = event.time
             event.fn(*event.args)
             self._processed += 1
+            tel = self.telemetry
+            if tel is not None and tel.enabled:
+                tel.tick(self._now)
             return (event.time, event.fn)
         return None
 

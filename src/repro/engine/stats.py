@@ -104,6 +104,25 @@ class Histogram:
         var = sum((s - mean) ** 2 for s in self._samples) / (len(self._samples) - 1)
         return math.sqrt(var)
 
+    def as_stats(self) -> Dict[str, float]:
+        """Self-describing snapshot of the distribution.
+
+        Every consumer (instrument-bus snapshots, the stats registry, the
+        telemetry sampler) expands histograms through this one method, so
+        a histogram always contributes the same uniform key set —
+        ``count/sum/min/max/mean/p50/p99`` — no matter which station owns
+        it.
+        """
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0,
+            "max": self.max if self.max is not None else 0,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p99": self.percentile(99.0),
+        }
+
     def reset(self) -> None:
         self.count = 0
         self.total = 0
@@ -160,20 +179,26 @@ class StatsRegistry:
             self._histograms[name] = hist
         return hist
 
-    def snapshot(self) -> Dict[str, int]:
-        """Counter values by name (histograms report their counts)."""
-        snap = {name: c.value for name, c in self._counters.items()}
+    def snapshot(self) -> Dict[str, float]:
+        """Counter values by name; histograms expand through
+        :meth:`Histogram.as_stats` (``.count/.sum/.min/.max/.mean/.p50/.p99``)."""
+        snap: Dict[str, float] = {name: c.value for name, c in self._counters.items()}
         for name, hist in self._histograms.items():
-            snap[f"{name}.count"] = hist.count
+            for key, value in hist.as_stats().items():
+                snap[f"{name}.{key}"] = value
         return snap
 
-    def diff(self, before: Dict[str, int]) -> Dict[str, int]:
+    def diff(self, before: Dict[str, float]) -> Dict[str, float]:
         """Counter deltas relative to a previous :meth:`snapshot`."""
         current = self.snapshot()
         return {k: current.get(k, 0) - before.get(k, 0) for k in current}
 
     def counters(self) -> Iterable[Counter]:
         return self._counters.values()
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Histograms by name (a copy; safe to iterate while recording)."""
+        return dict(self._histograms)
 
     def reset(self) -> None:
         for counter in self._counters.values():

@@ -39,6 +39,13 @@ class ExperimentResult:
     #: flight-recorder summary (sampling metadata + per-op latency
     #: breakdowns) attached by the runner when ``--flight`` is on.
     flight: Dict[str, object] = field(default_factory=dict)
+    #: sim-time telemetry (sampler summary + serialized timeline)
+    #: attached by the runner when ``--telemetry`` is on.  Deterministic:
+    #: only simulated time and simulator state, never wall clock.
+    telemetry: Dict[str, object] = field(default_factory=dict)
+    #: wall-clock seconds the producing experiment took (attached by the
+    #: runner; excluded from determinism comparisons by definition).
+    wall_s: float = 0.0
 
     def add_row(self, *values) -> None:
         self.rows.append(tuple(values))

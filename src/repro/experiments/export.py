@@ -31,6 +31,8 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "notes": result.notes,
         "instrumentation": dict(result.instrumentation),
         "flight": dict(result.flight),
+        "telemetry": dict(result.telemetry),
+        "wall_s": result.wall_s,
     }
 
 

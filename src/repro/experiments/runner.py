@@ -38,6 +38,8 @@ from repro.flight import (FlightRecord, FlightRecorder, breakdowns,
                           save_chrome_trace)
 from repro.flight import session as flight_session
 from repro.instrument import Collection
+from repro.telemetry import TelemetrySampler
+from repro.telemetry import session as telemetry_session
 
 DEFAULT_SEED = 42
 
@@ -149,7 +151,8 @@ def make_flight_recorder(spec: Optional[Mapping[str, object]]
 
 def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
                    seed: int = DEFAULT_SEED,
-                   flight: Optional[FlightRecorder] = None
+                   flight: Optional[FlightRecorder] = None,
+                   telemetry: Optional[Mapping[str, object]] = None
                    ) -> List[ExperimentResult]:
     """Run one experiment id; returns its results as a flat list.
 
@@ -157,23 +160,34 @@ def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
     all randomness through explicitly seeded generators already; this is
     belt and braces for anything stdlib-level) and attaches the merged
     instrumentation snapshot of every registry-built system to each
-    result.
+    result, plus the wall-clock seconds the run took (``result.wall_s``).
 
     With a ``flight`` recorder, every system the registry builds during
     the run records per-request spans onto it, and each result carries
     the sampling summary plus per-op latency breakdowns in
     ``result.flight``.
+
+    ``telemetry`` is a sampler *spec* (``{"interval_ps": ...}``), not a
+    live sampler: the per-experiment :class:`TelemetrySampler` is always
+    constructed here, so serial and worker-process runs build identical
+    samplers and their timelines stay bit-identical.  Each result then
+    carries ``{"summary": ..., "timeline": ...}`` in ``result.telemetry``.
     """
     spec = REGISTRY.get(exp_id)
     if spec is None:
         raise UnknownExperimentError(exp_id, REGISTRY)
     random.seed(f"repro-exp:{seed}:{exp_id}")
+    start = time.time()
     session = flight_session(flight) if flight is not None else nullcontext()
-    with session:
+    sampler = TelemetrySampler(**telemetry) if telemetry is not None else None
+    tel_session = (telemetry_session(sampler) if sampler is not None
+                   else nullcontext())
+    with session, tel_session:
         with Collection() as collection:
             out = spec.run(scale)
             results = [out] if isinstance(out, ExperimentResult) else list(out)
             snapshot = collection.merged()
+    wall_s = time.time() - start
     flight_summary: Dict[str, object] = {}
     if flight is not None:
         flight_summary = {
@@ -181,67 +195,93 @@ def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
             "breakdowns": {op: bd.as_dict()
                            for op, bd in breakdowns(flight.records).items()},
         }
+    telemetry_doc: Dict[str, object] = {}
+    if sampler is not None:
+        telemetry_doc = {"summary": sampler.summary(),
+                         "timeline": sampler.timeline.as_dict()}
     for result in results:
         result.instrumentation = dict(snapshot)
         result.flight = dict(flight_summary)
+        result.telemetry = dict(telemetry_doc)
+        result.wall_s = wall_s
     return results
 
 
 def run_all(scale: Scale = Scale.SMOKE, ids: Optional[List[str]] = None,
-            seed: int = DEFAULT_SEED, workers: int = 1
+            seed: int = DEFAULT_SEED, workers: int = 1,
+            telemetry: Optional[Dict[str, object]] = None
             ) -> List[ExperimentResult]:
     """Run experiments (all by default), serial or fan-out.
 
     Results come back in registry order either way; with ``workers > 1``
     each experiment runs in its own process but is bit-identical to the
-    serial run because all experiment randomness is seeded per id.
+    serial run because all experiment randomness is seeded per id and
+    telemetry samplers are built per experiment from the same spec.
     """
     ids = validate_ids(ids) if ids else list(REGISTRY)
     if workers <= 1:
         results: List[ExperimentResult] = []
         for exp_id in ids:
-            results.extend(run_experiment(exp_id, scale, seed))
+            results.extend(run_experiment(exp_id, scale, seed,
+                                          telemetry=telemetry))
         return results
-    by_id = _run_parallel(ids, scale, seed, workers)
+    by_id = _run_parallel(ids, scale, seed, workers,
+                          telemetry_spec=telemetry)
     return [r for exp_id in ids for r in by_id[exp_id][0]]
 
 
-def _worker(job: Tuple[str, str, int, Optional[Dict[str, object]]]
+def _worker(job: Tuple[str, str, int, Optional[Dict[str, object]],
+                       Optional[Dict[str, object]]]
             ) -> Tuple[str, List[ExperimentResult], float,
                        List[FlightRecord]]:
-    exp_id, scale_value, seed, flight_spec = job
+    exp_id, scale_value, seed, flight_spec, telemetry_spec = job
     start = time.time()
     recorder = make_flight_recorder(flight_spec)
     results = run_experiment(exp_id, Scale(scale_value), seed,
-                             flight=recorder)
+                             flight=recorder, telemetry=telemetry_spec)
     records = recorder.records if recorder is not None else []
     return exp_id, results, time.time() - start, records
 
 
 def _run_parallel(ids: List[str], scale: Scale, seed: int, workers: int,
                   flight_spec: Optional[Dict[str, object]] = None,
-                  heartbeat: bool = False
+                  heartbeat: bool = False,
+                  telemetry_spec: Optional[Dict[str, object]] = None
                   ) -> Dict[str, Tuple[List[ExperimentResult], float,
                                        List[FlightRecord]]]:
     """Fan experiments out over processes; longest-first for packing.
 
     With ``heartbeat`` the parent prints a ``[done k/n]`` stderr line as
-    each future completes, so long parallel runs stay observable (worker
-    processes can't share the parent's progress stream).
+    each future completes — with wall-clock elapsed and an ETA weighted
+    by the remaining experiments' ``est_cost`` — so long parallel runs
+    stay observable (worker processes can't share the parent's progress
+    stream).
     """
     order = sorted(ids, key=lambda i: -REGISTRY[i].est_cost)
+    total_cost = sum(REGISTRY[i].est_cost for i in order) or 1.0
     by_id: Dict[str, Tuple[List[ExperimentResult], float,
                            List[FlightRecord]]] = {}
+    wall_start = time.time()
+    done_cost = 0.0
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {pool.submit(_worker, (i, scale.value, seed, flight_spec)): i
+        futures = {pool.submit(_worker, (i, scale.value, seed, flight_spec,
+                                         telemetry_spec)): i
                    for i in order}
         done = 0
         for future in as_completed(futures):
             exp_id, results, elapsed, records = future.result()
             by_id[exp_id] = (results, elapsed, records)
             done += 1
+            done_cost += REGISTRY[exp_id].est_cost
             if heartbeat:
-                print(f"[done {done}/{len(order)}] {exp_id} ({elapsed:.1f}s)",
+                wall = time.time() - wall_start
+                if done_cost < total_cost and done_cost > 0:
+                    eta = wall * (total_cost - done_cost) / done_cost
+                    eta_note = f" eta ~{eta:.0f}s"
+                else:
+                    eta_note = ""
+                print(f"[done {done}/{len(order)}] {exp_id} "
+                      f"({elapsed:.1f}s) elapsed {wall:.1f}s{eta_note}",
                       file=sys.stderr, flush=True)
     return by_id
 
@@ -295,6 +335,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--flight-out", metavar="PATH",
                         help="export sampled records as a Chrome/Perfetto "
                              "trace.json (implies --flight)")
+    from repro.tools.telemetry_opts import (add_telemetry_args,
+                                            report_telemetry,
+                                            telemetry_spec_from_args)
+    add_telemetry_args(parser)
     args = parser.parse_args(argv)
 
     if args.list_ids:
@@ -321,12 +365,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             flight_spec = {"mode": "every", "every": args.flight_sample}
         else:
             flight_spec = {"mode": "all"}
+    telemetry_spec = telemetry_spec_from_args(args)
 
     collected: List[ExperimentResult] = []
     all_records: List[FlightRecord] = []
     if args.workers > 1:
         by_id = _run_parallel(ids, scale, args.seed, args.workers,
-                              flight_spec=flight_spec, heartbeat=True)
+                              flight_spec=flight_spec, heartbeat=True,
+                              telemetry_spec=telemetry_spec)
         for exp_id in ids:
             results, elapsed, records = by_id[exp_id]
             all_records.extend(records)
@@ -339,13 +385,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             start = time.time()
             recorder = make_flight_recorder(flight_spec)
             for result in run_experiment(exp_id, scale, args.seed,
-                                         flight=recorder):
+                                         flight=recorder,
+                                         telemetry=telemetry_spec):
                 collected.append(result)
                 _print_result(result, args.plot)
             if recorder is not None:
                 all_records.extend(recorder.records)
             print(f"[{exp_id} done in {time.time() - start:.1f}s]\n")
 
+    if telemetry_spec is not None:
+        report_telemetry(collected, args)
     if flight_spec is not None:
         for op, breakdown in breakdowns(all_records).items():
             print(breakdown.render())

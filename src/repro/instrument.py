@@ -29,11 +29,25 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Union
 
 from repro.engine.stats import Counter, Histogram
 
 Number = Union[int, float]
+
+
+class BusSignals(NamedTuple):
+    """Typed view of everything registered on an :class:`InstrumentBus`.
+
+    The flat :meth:`InstrumentBus.snapshot` loses the signal kind; the
+    telemetry sampler needs it (counters become deltas/rates, gauges stay
+    levels, histograms become quantile series), so the bus also exposes
+    this structured form.
+    """
+
+    counters: Dict[str, Counter]
+    histograms: Dict[str, Histogram]
+    gauges: Dict[str, Callable[[], Number]]
 
 
 class _NullCounter:
@@ -140,22 +154,37 @@ class InstrumentBus:
 
     # -- reading -------------------------------------------------------
 
-    def snapshot(self) -> Dict[str, Number]:
+    def snapshot(self) -> Dict[str, object]:
         """Flat ``dotted.path -> value`` view of everything registered.
 
-        Histograms expand to ``.count`` / ``.mean`` / ``.max`` entries;
-        gauges are evaluated now.
+        Histograms expand uniformly through
+        :meth:`~repro.engine.stats.Histogram.as_stats`
+        (``.count/.sum/.min/.max/.mean/.p50/.p99``); gauges are evaluated
+        now.  A gauge whose callable raises does not abort the snapshot:
+        its path is recorded under the ``errors`` key (a list of paths)
+        and every other signal is still reported.
         """
-        snap: Dict[str, Number] = {}
+        snap: Dict[str, object] = {}
         for path, counter in self._counters.items():
             snap[path] = counter.value
         for path, hist in self._histograms.items():
-            snap[f"{path}.count"] = hist.count
-            snap[f"{path}.mean"] = hist.mean
-            snap[f"{path}.max"] = hist.max if hist.max is not None else 0
+            for key, value in hist.as_stats().items():
+                snap[f"{path}.{key}"] = value
+        errors: List[str] = []
         for path, fn in self._gauges.items():
-            snap[path] = fn()
+            try:
+                snap[path] = fn()
+            except Exception:
+                errors.append(path)
+        if errors:
+            snap["errors"] = errors
         return snap
+
+    def signals(self) -> BusSignals:
+        """Structured (counters, histograms, gauges) view; see
+        :class:`BusSignals`."""
+        return BusSignals(dict(self._counters), dict(self._histograms),
+                          dict(self._gauges))
 
 
 class ScopedBus:
@@ -182,12 +211,19 @@ class ScopedBus:
     def span(self, path: str):
         return self._root.span(_join(self._prefix, path))
 
-    def snapshot(self) -> Dict[str, Number]:
+    def snapshot(self) -> Dict[str, object]:
         """Snapshot of this scope's subtree, with scope-relative paths."""
         prefix = self._prefix + "."
-        return {path[len(prefix):]: value
-                for path, value in self._root.snapshot().items()
-                if path.startswith(prefix)}
+        snap: Dict[str, object] = {}
+        for path, value in self._root.snapshot().items():
+            if path == "errors":
+                scoped = [p[len(prefix):] for p in value
+                          if p.startswith(prefix)]
+                if scoped:
+                    snap["errors"] = scoped
+            elif path.startswith(prefix):
+                snap[path[len(prefix):]] = value
+        return snap
 
 
 AnyBus = Union[InstrumentBus, ScopedBus, NullBus]

@@ -88,6 +88,15 @@ class XPointMedia:
             addr += cfg.granularity
         return completion
 
+    def publish(self, bus, prefix: str) -> None:
+        """Register pull-gauges for the partition servers (aggregate
+        served/busy plus occupancy of the busiest partition) — evaluated
+        only at snapshot time, zero cost on the access path."""
+        self.banks.publish(bus, f"{prefix}.banks")
+        bus.gauge(f"{prefix}.partitions", lambda: len(self.banks))
+        bus.gauge(f"{prefix}.max_busy_until",
+                  lambda: max(b.busy_until for b in self.banks.banks))
+
     @property
     def reads(self) -> int:
         return self._reads.value

@@ -113,6 +113,13 @@ class LazyCache:
     def contains(self, block_addr: int) -> bool:
         return block_addr in self._lz2
 
+    def publish(self, bus, prefix: str) -> None:
+        """Register occupancy pull-gauges (WLB / LZ1 / LZ2 entry counts)
+        on an instrument bus — snapshot-time only, zero write-path cost."""
+        bus.gauge(f"{prefix}.wlb_entries", lambda: len(self._wlb))
+        bus.gauge(f"{prefix}.lz1_entries", lambda: len(self._lz1))
+        bus.gauge(f"{prefix}.lz2_entries", lambda: len(self._lz2))
+
     def flush(self) -> List[int]:
         """Drain everything (power-fail / fence path via ADR)."""
         dirty = [addr for addr, d in self._lz2.items() if d]

@@ -42,6 +42,7 @@ from repro.flight.recorder import current as current_flight
 from repro.instrument import NULL_BUS, InstrumentBus, announce
 from repro.reference import OptaneReference
 from repro.target import TargetSystem
+from repro.telemetry.sampler import current as current_telemetry
 from repro.vans.config import VansConfig
 from repro.vans.memory_mode import MemoryModeSystem
 from repro.vans.system import VansSystem
@@ -98,6 +99,10 @@ def build(name: str, **overrides: Any):
     kwargs = {**target_spec.defaults, **overrides}
     system = target_spec.builder(**kwargs)
     announce(system)
+    telemetry = current_telemetry()
+    if telemetry.enabled and isinstance(system, TargetSystem):
+        telemetry.attach(system)
+        system.telemetry = telemetry
     return system
 
 

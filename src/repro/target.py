@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 
 from repro.engine.request import CACHE_LINE, Op, Request
 from repro.flight.recorder import NULL_FLIGHT
+from repro.telemetry.sampler import NULL_TELEMETRY
 
 
 class TargetSystem(ABC):
@@ -24,6 +25,10 @@ class TargetSystem(ABC):
     #: per-request flight recorder (instrumented systems overwrite this
     #: instance-side; the class default is the zero-cost no-op)
     flight = NULL_FLIGHT
+
+    #: sim-time telemetry sampler (instance-side when a telemetry session
+    #: is active; the class default is the zero-cost no-op)
+    telemetry = NULL_TELEMETRY
 
     @abstractmethod
     def read(self, addr: int, now: int) -> int:
@@ -67,6 +72,9 @@ class TargetSystem(ABC):
             record = fl.last
             if record is not None and record.req_id == request.req_id:
                 request.flight = record
+        tel = self.telemetry
+        if tel.enabled:
+            tel.tick(request.complete_ps)
         return request
 
     def warm_fill(self, start_addr: int, length: int) -> None:
@@ -81,6 +89,16 @@ class TargetSystem(ABC):
         """
         stats = getattr(self, "stats", None)
         return dict(stats.snapshot()) if stats is not None else {}
+
+    def stat_registries(self) -> list:
+        """Every :class:`StatsRegistry` the telemetry sampler should read.
+
+        Composite systems whose inner components keep their own registry
+        (e.g. Memory-mode wrapping an NVRAM backend) override this so the
+        sampler sees all of them.
+        """
+        stats = getattr(self, "stats", None)
+        return [stats] if stats is not None else []
 
     def reset_state(self) -> None:
         """Optional: drop all internal state between experiment phases."""

@@ -1,0 +1,266 @@
+"""repro-bench: continuous benchmarking over the experiment suite.
+
+One invocation runs a named suite of experiments, measures each one
+(wall-clock seconds, simulated requests executed, requests per wall
+second, key model outputs), stamps the whole run with a manifest, and
+writes a schema'd ``BENCH_<date>.json``.  A later invocation — or CI —
+diffs a fresh run against the latest committed baseline and fails
+(exit 3) on regressions beyond a threshold.
+
+Two families of signals, gated separately because they drift for
+different reasons:
+
+* **metrics** — the experiments' model outputs (latencies, hit rates,
+  amplification factors).  Deterministic: any change means the *model*
+  changed, so CI gates on these with a tight threshold;
+* **perf** — wall seconds, requests/sec, peak RSS.  Machine-dependent:
+  gate locally when chasing performance, not in shared CI.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import time
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.experiments.common import Scale
+from repro.telemetry.manifest import MANIFEST_SCHEMA, run_manifest
+
+#: bench document version (bump on breaking key changes)
+BENCH_SCHEMA = "repro.bench/1"
+
+#: instrumentation counters that count one memory request each — the
+#: denominator-free "how much simulated work happened" measure shared
+#: by all target families
+REQUEST_KEYS = (
+    "imc.reads", "imc.writes", "imc.fences",
+    "slowdram.reads", "slowdram.writes",
+    "memmode.hits", "memmode.misses",
+)
+
+#: suite name -> experiment ids (resolved against the runner registry)
+SUITES: Dict[str, Tuple[str, ...]] = {
+    # CI smoke: fast, covers VANS + a baseline + the table inventory
+    "smoke": ("fig1", "tables"),
+    # the paper's validation figures
+    "validation": ("fig9", "fig10", "fig11"),
+    # LENS probing stack
+    "lens": ("fig5", "fig6", "fig7"),
+    # everything in the registry
+    "full": (),
+}
+
+
+def suite_ids(suite: str) -> List[str]:
+    """Experiment ids for a named suite (``full`` -> whole registry)."""
+    from repro.experiments.runner import REGISTRY, validate_ids
+    if suite not in SUITES:
+        raise KeyError(
+            f"unknown suite {suite!r}; known: {', '.join(sorted(SUITES))}")
+    ids = SUITES[suite]
+    return validate_ids(list(ids)) if ids else list(REGISTRY)
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Peak RSS of this process in KiB (None where unsupported)."""
+    try:
+        import resource
+    except ImportError:          # non-POSIX
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if os.uname().sysname == "Darwin":
+        return usage // 1024
+    return usage
+
+
+def _count_requests(instrumentation: Mapping[str, object]) -> int:
+    return int(sum(instrumentation.get(key, 0) or 0
+                   for key in REQUEST_KEYS))
+
+
+def run_suite(suite: str, scale: Scale = Scale.SMOKE,
+              seed: Optional[int] = None,
+              config: Optional[Mapping[str, object]] = None
+              ) -> Dict[str, object]:
+    """Run a suite and return the bench document (not yet written).
+
+    Experiments run serially (perf numbers from a loaded parallel
+    machine would gate on scheduler noise, not code).
+    """
+    from repro.experiments.runner import DEFAULT_SEED, run_experiment
+    base_seed = DEFAULT_SEED if seed is None else seed
+    ids = suite_ids(suite)
+    experiments: Dict[str, object] = {}
+    total_wall = 0.0
+    total_requests = 0
+    for exp_id in ids:
+        start = time.time()
+        results = run_experiment(exp_id, scale, base_seed)
+        wall_s = time.time() - start
+        requests = _count_requests(results[0].instrumentation) \
+            if results else 0
+        metrics: Dict[str, float] = {}
+        for result in results:
+            for key, value in result.metrics.items():
+                if isinstance(value, bool) or not isinstance(
+                        value, (int, float)):
+                    continue
+                metrics[f"{result.experiment}.{key}"] = value
+        experiments[exp_id] = {
+            "wall_s": round(wall_s, 4),
+            "requests": requests,
+            "requests_per_s": round(requests / wall_s, 2) if wall_s > 0
+            else 0.0,
+            "metrics": metrics,
+        }
+        total_wall += wall_s
+        total_requests += requests
+    doc: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "scale": scale.value,
+        "seed": base_seed,
+        "manifest": run_manifest(
+            seed=base_seed,
+            config=dict(config or {}, suite=suite, scale=scale.value)),
+        "experiments": experiments,
+        "totals": {
+            "wall_s": round(total_wall, 4),
+            "requests": total_requests,
+            "requests_per_s": round(total_requests / total_wall, 2)
+            if total_wall > 0 else 0.0,
+            "peak_rss_kb": _peak_rss_kb(),
+        },
+    }
+    return doc
+
+
+def validate_bench(doc: Mapping[str, object]) -> List[str]:
+    """Structural check of a bench document; empty list when valid."""
+    problems: List[str] = []
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected "
+                        f"{BENCH_SCHEMA!r}")
+    for key in ("suite", "scale", "manifest", "experiments", "totals"):
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+    manifest = doc.get("manifest")
+    if isinstance(manifest, Mapping) and \
+            manifest.get("schema") != MANIFEST_SCHEMA:
+        problems.append("manifest has wrong schema")
+    experiments = doc.get("experiments")
+    if isinstance(experiments, Mapping):
+        for exp_id, entry in experiments.items():
+            if not isinstance(entry, Mapping):
+                problems.append(f"experiment {exp_id!r} entry not a mapping")
+                continue
+            for key in ("wall_s", "requests", "requests_per_s", "metrics"):
+                if key not in entry:
+                    problems.append(f"experiment {exp_id!r} missing {key!r}")
+    return problems
+
+
+def find_baseline(directory: str, exclude: Optional[str] = None
+                  ) -> Optional[str]:
+    """Path of the latest ``BENCH_*.json`` in ``directory`` by name.
+
+    The date-stamped naming scheme makes lexicographic order
+    chronological.  ``exclude`` (a basename) skips the file a run is
+    about to overwrite, so today's output never diffs against itself.
+    """
+    try:
+        names = sorted(
+            n for n in os.listdir(directory)
+            if fnmatch.fnmatch(n, "BENCH_*.json") and n != exclude)
+    except OSError:
+        return None
+    return os.path.join(directory, names[-1]) if names else None
+
+
+class Delta:
+    """One compared value: old vs new with relative change."""
+
+    __slots__ = ("key", "kind", "old", "new")
+
+    def __init__(self, key: str, kind: str, old: float, new: float) -> None:
+        self.key = key
+        self.kind = kind          # "metric" | "perf"
+        self.old = old
+        self.new = new
+
+    @property
+    def rel(self) -> float:
+        """Relative change (0 when both sides are 0)."""
+        if self.old == 0:
+            return 0.0 if self.new == 0 else float("inf")
+        return (self.new - self.old) / abs(self.old)
+
+    def exceeds(self, threshold: float) -> bool:
+        return abs(self.rel) > threshold
+
+    def render(self) -> str:
+        rel = self.rel
+        pct = "inf" if rel == float("inf") else f"{rel * 100:+.2f}%"
+        return (f"{self.kind:6s} {self.key}: "
+                f"{self.old:g} -> {self.new:g} ({pct})")
+
+
+def diff_bench(old: Mapping[str, object], new: Mapping[str, object]
+               ) -> Dict[str, List[Delta]]:
+    """Compare two bench documents.
+
+    Returns ``{"metrics": [...], "perf": [...]}`` with every *changed*
+    value; thresholds are applied by :func:`gate`, not here.
+    Experiments present on only one side are skipped — a suite change is
+    not a regression.
+    """
+    metric_deltas: List[Delta] = []
+    perf_deltas: List[Delta] = []
+    old_exps = old.get("experiments", {})
+    new_exps = new.get("experiments", {})
+    for exp_id in sorted(set(old_exps) & set(new_exps)):
+        old_entry, new_entry = old_exps[exp_id], new_exps[exp_id]
+        old_metrics = old_entry.get("metrics", {})
+        new_metrics = new_entry.get("metrics", {})
+        for key in sorted(set(old_metrics) & set(new_metrics)):
+            if old_metrics[key] != new_metrics[key]:
+                metric_deltas.append(Delta(
+                    key, "metric", old_metrics[key], new_metrics[key]))
+        # request counts are deterministic model behavior too
+        if old_entry.get("requests") != new_entry.get("requests"):
+            metric_deltas.append(Delta(
+                f"{exp_id}.requests", "metric",
+                old_entry.get("requests", 0), new_entry.get("requests", 0)))
+        for key in ("wall_s", "requests_per_s"):
+            old_v, new_v = old_entry.get(key, 0), new_entry.get(key, 0)
+            if old_v != new_v:
+                perf_deltas.append(Delta(f"{exp_id}.{key}", "perf",
+                                         old_v, new_v))
+    return {"metrics": metric_deltas, "perf": perf_deltas}
+
+
+def gate(deltas: Mapping[str, List[Delta]], mode: str,
+         metric_threshold: float = 0.001,
+         perf_threshold: float = 0.25) -> List[Delta]:
+    """Deltas that violate the gate for ``mode``.
+
+    ``mode`` is ``all`` | ``metrics`` | ``perf`` | ``none``.  Metrics
+    gate tight (they are deterministic — any drift is a model change);
+    perf gates loose (wall clock is machine- and load-dependent).  For
+    perf only *slowdowns* gate: wall_s up or requests_per_s down.
+    """
+    if mode == "none":
+        return []
+    violations: List[Delta] = []
+    if mode in ("all", "metrics"):
+        violations.extend(d for d in deltas["metrics"]
+                          if d.exceeds(metric_threshold))
+    if mode in ("all", "perf"):
+        for d in deltas["perf"]:
+            slower = (d.rel > 0 if d.key.endswith("wall_s")
+                      else d.rel < 0)
+            if slower and d.exceeds(perf_threshold):
+                violations.append(d)
+    return violations

@@ -1,0 +1,172 @@
+"""Timeline rendering and export: sparklines, CSV, Chrome counter tracks.
+
+Three consumers of a :class:`~repro.telemetry.series.Timeline`:
+
+* :func:`render_timeline` — terminal summary with unicode sparklines of
+  the most active series (counters shown as per-interval deltas so the
+  shape reads as activity, not as a monotone ramp);
+* :func:`save_timelines_csv` — long-form CSV (``experiment, path, kind,
+  t_ps, value``) for external plotting/diffing;
+* :func:`to_chrome_counters` / :func:`save_chrome_counters` — Chrome
+  trace-event counter tracks (``ph: "C"``), the same lane format as the
+  flight recorder's span export, so a telemetry trace opens in
+  ``ui.perfetto.dev`` next to a flight trace.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, IO, List, Mapping, Union
+
+from repro.telemetry.series import TimeSeries, Timeline
+
+_SPARK = "▁▂▃▄▅▆▇█"
+_PS_PER_US = 1_000_000
+
+
+def sparkline(values, width: int = 48) -> str:
+    """Unicode sparkline of ``values``, downsampled to ``width`` buckets
+    by bucket means.  Flat/empty series render as a flat baseline."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        bucketed = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            chunk = values[lo:hi]
+            bucketed.append(sum(chunk) / len(chunk))
+        values = bucketed
+    low, high = min(values), max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK[0] * len(values)
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1,
+                   int((v - low) / span * len(_SPARK)))]
+        for v in values)
+
+
+def _display_values(series: TimeSeries) -> List[float]:
+    return series.deltas() if series.kind == "counter" else list(series.values)
+
+
+def render_timeline(timeline: Timeline, top: int = 8,
+                    match: str = "") -> str:
+    """Terminal rendering: header + one sparkline row per series.
+
+    Counter series are ranked by final (total) value and drawn as
+    per-sample deltas; gauge/stat series ride along when ``match``
+    selects them.  ``match`` filters paths by substring.
+    """
+    header = (f"telemetry: {len(timeline)} samples @ "
+              f"{timeline.interval_ps / _PS_PER_US:g}us over "
+              f"{timeline.end_ps / _PS_PER_US:.1f}us simulated")
+    lines = [header]
+    if timeline.errors:
+        lines.append(f"  gauge errors: {', '.join(timeline.errors)}")
+    chosen = [s for path, s in sorted(timeline.series.items())
+              if match in path]
+    if match:
+        chosen.sort(key=lambda s: (-s.final, s.path))
+        chosen = chosen[:top]
+    else:
+        counters = [s for s in chosen if s.kind == "counter"
+                    and not s.path.endswith(".count")]
+        counters.sort(key=lambda s: (-s.final, s.path))
+        chosen = counters[:top]
+    width = max((len(s.path) for s in chosen), default=0)
+    for series in chosen:
+        values = _display_values(series)
+        label = "Δ" if series.kind == "counter" else "·"
+        lines.append(f"  {series.path.ljust(width)} {label} "
+                     f"{sparkline(values)} "
+                     f"(final {series.final:g})")
+    if not chosen:
+        lines.append("  (no matching series)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+
+
+def save_timelines_csv(timelines: Mapping[str, Timeline],
+                       dest: Union[str, IO[str]]) -> int:
+    """Long-form CSV of every series of every timeline; returns rows."""
+    rows = 0
+
+    def _write(fh) -> int:
+        nonlocal rows
+        writer = csv.writer(fh)
+        writer.writerow(["experiment", "path", "kind", "t_ps", "value"])
+        for experiment, timeline in timelines.items():
+            for path in timeline.paths():
+                series = timeline.series[path]
+                for t_ps, value in series:
+                    writer.writerow([experiment, path, series.kind,
+                                     t_ps, value])
+                    rows += 1
+        return rows
+
+    if hasattr(dest, "write"):
+        return _write(dest)
+    with open(dest, "w", encoding="utf-8", newline="") as fh:
+        return _write(fh)
+
+
+# ----------------------------------------------------------------------
+# Chrome counter tracks
+# ----------------------------------------------------------------------
+
+
+def to_chrome_counters(timelines: Mapping[str, Timeline],
+                       extra_metadata: Union[Dict[str, object], None] = None
+                       ) -> Dict[str, object]:
+    """Chrome trace-event JSON with one counter track per series.
+
+    One process lane per experiment (mirroring the flight exporter's
+    station lanes); counter-kind series are emitted as per-sample deltas
+    so the track shows activity per interval.
+    """
+    events: List[Dict[str, object]] = []
+    for pid, (experiment, timeline) in enumerate(sorted(timelines.items())):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "args": {"name": f"telemetry:{experiment}"}})
+        for path in timeline.paths():
+            series = timeline.series[path]
+            values = _display_values(series)
+            for t_ps, value in zip(series.times_ps, values):
+                events.append({
+                    "name": path,
+                    "ph": "C",
+                    "pid": pid,
+                    "ts": t_ps / _PS_PER_US,
+                    "args": {"value": value},
+                })
+    trace: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"time_base": "simulated picoseconds / 1e6",
+                      "timelines": len(timelines)},
+    }
+    if extra_metadata:
+        trace["otherData"].update(extra_metadata)  # type: ignore[union-attr]
+    return trace
+
+
+def save_chrome_counters(timelines: Mapping[str, Timeline],
+                         dest: Union[str, IO[str]],
+                         extra_metadata: Union[Dict[str, object], None] = None
+                         ) -> int:
+    """Write the counter-track trace to ``dest``; returns event count."""
+    trace = to_chrome_counters(timelines, extra_metadata)
+    if hasattr(dest, "write"):
+        json.dump(trace, dest)  # type: ignore[arg-type]
+    else:
+        with open(dest, "w", encoding="utf-8") as fh:  # type: ignore[arg-type]
+            json.dump(trace, fh)
+    return len(trace["traceEvents"])  # type: ignore[arg-type]

@@ -1,0 +1,175 @@
+"""``repro-bench``: run a benchmark suite, record it, gate regressions.
+
+Usage::
+
+    repro-bench --suite smoke                       # run + write + diff
+    repro-bench --suite smoke --out bench/          # choose output dir
+    repro-bench --suite smoke --baseline BENCH_2026-08-05.json
+    repro-bench --suite smoke --gate metrics        # CI: metrics only
+    repro-bench --check BENCH_2026-08-05.json       # validate a document
+
+Each run writes ``BENCH_<date>.json`` (schema ``repro.bench/1``): per
+experiment wall seconds, simulated requests, requests/sec, and the
+experiment's model-output metrics; plus run totals (peak RSS included)
+and a full run manifest (git SHA, config hash, seeds, environment).
+
+The fresh run is diffed against the latest prior ``BENCH_*.json`` in the
+output directory (or ``--baseline``).  Exit codes: ``0`` ok / no
+baseline, ``2`` usage error, ``3`` the gate found regressions beyond
+threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.experiments.common import Scale
+from repro.telemetry.bench import (
+    SUITES,
+    diff_bench,
+    find_baseline,
+    gate,
+    run_suite,
+    suite_ids,
+    validate_bench,
+)
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_REGRESSION = 3
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--suite", default="smoke",
+                        choices=sorted(SUITES),
+                        help="suite to run (default: %(default)s)")
+    parser.add_argument("--paper", action="store_true",
+                        help="paper-scale sweeps (slow)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base RNG seed (default: runner default)")
+    parser.add_argument("--out", default=".", metavar="DIR",
+                        help="directory for BENCH_<date>.json "
+                             "(default: current directory)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="diff against this document instead of the "
+                             "latest BENCH_*.json in the output directory")
+    parser.add_argument("--gate", default="all",
+                        choices=["all", "metrics", "perf", "none"],
+                        help="which delta family fails the run "
+                             "(default: %(default)s; CI should use "
+                             "'metrics' — perf is machine-dependent)")
+    parser.add_argument("--metric-threshold", type=float, default=0.001,
+                        metavar="REL",
+                        help="relative metric drift tolerated "
+                             "(default: %(default)s)")
+    parser.add_argument("--perf-threshold", type=float, default=0.25,
+                        metavar="REL",
+                        help="relative slowdown tolerated "
+                             "(default: %(default)s)")
+    parser.add_argument("--date", metavar="YYYY-MM-DD",
+                        help="override the output filename date stamp")
+    parser.add_argument("--check", metavar="PATH",
+                        help="validate an existing bench document and exit")
+    parser.add_argument("--list", action="store_true", dest="list_suites",
+                        help="list suites and their experiments, then exit")
+    args = parser.parse_args(argv)
+
+    if args.list_suites:
+        for name in sorted(SUITES):
+            print(f"{name}: {', '.join(suite_ids(name))}")
+        return EXIT_OK
+
+    if args.check:
+        try:
+            doc = _load(args.check)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.check}: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        problems = validate_bench(doc)
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check}: valid {doc.get('schema')} document "
+                  f"({len(doc.get('experiments', {}))} experiments)")
+        return EXIT_USAGE if problems else EXIT_OK
+
+    scale = Scale.PAPER if args.paper else Scale.SMOKE
+    print(f"repro-bench: suite={args.suite} scale={scale.value} "
+          f"({', '.join(suite_ids(args.suite))})")
+    doc = run_suite(args.suite, scale, seed=args.seed)
+    problems = validate_bench(doc)
+    if problems:  # defensive: a schema bug should fail loudly, not gate
+        for problem in problems:
+            print(f"internal error: {problem}", file=sys.stderr)
+        return EXIT_USAGE
+
+    date = args.date or datetime.date.today().isoformat()
+    out_name = f"BENCH_{date}.json"
+    out_path = os.path.join(args.out, out_name)
+    os.makedirs(args.out, exist_ok=True)
+
+    baseline_path = args.baseline or find_baseline(args.out,
+                                                   exclude=out_name)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    totals = doc["totals"]
+    print(f"wrote {out_path}: {len(doc['experiments'])} experiments, "
+          f"{totals['requests']} requests in {totals['wall_s']:.1f}s "
+          f"({totals['requests_per_s']:.0f} req/s, "
+          f"peak RSS {totals['peak_rss_kb']} KiB)")
+
+    if baseline_path is None:
+        print("no prior baseline found; nothing to diff")
+        return EXIT_OK
+
+    try:
+        baseline = _load(baseline_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read baseline {baseline_path}: {exc}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    stale = validate_bench(baseline)
+    if stale:
+        print(f"warning: baseline {baseline_path} is invalid "
+              f"({'; '.join(stale)}); skipping diff", file=sys.stderr)
+        return EXIT_OK
+
+    deltas = diff_bench(baseline, doc)
+    changed = deltas["metrics"] + deltas["perf"]
+    print(f"\ndiff vs {baseline_path}: "
+          f"{len(deltas['metrics'])} metric / "
+          f"{len(deltas['perf'])} perf value(s) changed")
+    for delta in changed:
+        print(f"  {delta.render()}")
+
+    violations = gate(deltas, args.gate,
+                      metric_threshold=args.metric_threshold,
+                      perf_threshold=args.perf_threshold)
+    if violations:
+        print(f"\nREGRESSION: {len(violations)} value(s) beyond threshold "
+              f"(gate={args.gate})", file=sys.stderr)
+        for delta in violations:
+            print(f"  {delta.render()}", file=sys.stderr)
+        return EXIT_REGRESSION
+    print(f"gate={args.gate}: ok")
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,10 +24,17 @@ import argparse
 import sys
 from typing import List, Optional
 
+from contextlib import nullcontext
+
 from repro import registry
 from repro.common.errors import ReproError
 from repro.flight import FlightRecorder, breakdowns, save_chrome_trace, session
+from repro.telemetry import (TelemetrySampler, render_timeline,
+                             save_chrome_counters, save_timelines_csv)
+from repro.telemetry import session as telemetry_session
 from repro.tools.targets import make_target
+from repro.tools.telemetry_opts import (add_telemetry_args,
+                                        telemetry_spec_from_args)
 from repro.tools.trace_cli import generate_pattern
 from repro.vans.tracing import load_trace, replay
 
@@ -56,6 +63,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="keep a uniform reservoir of K requests")
     parser.add_argument("--out", metavar="PATH",
                         help="write the Chrome/Perfetto trace.json here")
+    add_telemetry_args(parser)
     args = parser.parse_args(argv)
 
     if args.sample and args.reservoir:
@@ -70,8 +78,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         recorder = FlightRecorder(mode="all")
 
+    telemetry_spec = telemetry_spec_from_args(args)
+    sampler = (TelemetrySampler(**telemetry_spec)
+               if telemetry_spec is not None else None)
+    tel_session = (telemetry_session(sampler) if sampler is not None
+                   else nullcontext())
     try:
-        with session(recorder):
+        with session(recorder), tel_session:
             target = make_target(args.target)()
             if args.trace:
                 workload = load_trace(args.trace)
@@ -97,6 +110,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                                                    "target": target.name})
         print(f"[exported {events} trace events to {args.out}; open in "
               "ui.perfetto.dev]")
+    if sampler is not None:
+        print(render_timeline(sampler.timeline))
+        timelines = {target.name: sampler.timeline}
+        if args.telemetry_csv:
+            rows = save_timelines_csv(timelines, args.telemetry_csv)
+            print(f"[exported {rows} telemetry rows to {args.telemetry_csv}]")
+        if args.telemetry_trace:
+            counters = save_chrome_counters(timelines, args.telemetry_trace)
+            print(f"[exported {counters} counter events to "
+                  f"{args.telemetry_trace}]")
     return 0
 
 

@@ -1,0 +1,83 @@
+"""Shared ``--telemetry`` option wiring for the command-line tools.
+
+Mirrors :mod:`repro.tools.flight_opts`: every CLI that drives targets
+supports the same telemetry flags; this module owns adding them to a
+parser, turning them into a sampler *spec* (a plain dict, so it crosses
+process boundaries to parallel workers), and rendering/exporting the
+post-run timelines (terminal sparklines, long-form CSV, Chrome counter
+tracks).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Iterable, Optional
+
+from repro.telemetry import (
+    DEFAULT_INTERVAL_PS,
+    Timeline,
+    render_timeline,
+    save_chrome_counters,
+    save_timelines_csv,
+)
+from repro.common.units import US
+
+
+def add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry", action="store_true",
+                        help="sample sim-time telemetry timelines and "
+                             "print sparklines per experiment")
+    parser.add_argument("--telemetry-interval", type=float,
+                        default=DEFAULT_INTERVAL_PS / US, metavar="USEC",
+                        help="sampling interval in simulated microseconds "
+                             "(default %(default)g)")
+    parser.add_argument("--telemetry-csv", metavar="PATH",
+                        help="export all sampled series as long-form CSV "
+                             "(implies --telemetry)")
+    parser.add_argument("--telemetry-trace", metavar="PATH",
+                        help="export timelines as Chrome counter tracks "
+                             "(implies --telemetry)")
+
+
+def telemetry_spec_from_args(args: argparse.Namespace
+                             ) -> Optional[Dict[str, object]]:
+    """A sampler spec matching the parsed flags, or ``None`` when off.
+
+    The spec (not a live sampler) is what travels: each experiment run —
+    serial or in a worker process — constructs its own sampler from it,
+    which is what keeps ``--workers N`` bit-identical to serial.
+    """
+    if not (args.telemetry or args.telemetry_csv or args.telemetry_trace):
+        return None
+    return {"interval_ps": int(args.telemetry_interval * US)}
+
+
+def timelines_from_results(results: Iterable) -> Dict[str, Timeline]:
+    """``experiment id -> Timeline`` from results carrying telemetry.
+
+    Results of one experiment share the run's timeline, so the first one
+    seen per experiment wins.
+    """
+    timelines: Dict[str, Timeline] = {}
+    for result in results:
+        doc = getattr(result, "telemetry", None) or {}
+        timeline_doc = doc.get("timeline")
+        if timeline_doc and result.experiment not in timelines:
+            timelines[result.experiment] = Timeline.from_dict(timeline_doc)
+    return timelines
+
+
+def report_telemetry(results: Iterable, args: argparse.Namespace) -> None:
+    """Print sparklines and run the exports after a sampled run."""
+    timelines = timelines_from_results(results)
+    if not timelines:
+        return
+    for experiment in sorted(timelines):
+        print(f"\n[{experiment}]")
+        print(render_timeline(timelines[experiment]))
+    if getattr(args, "telemetry_csv", None):
+        rows = save_timelines_csv(timelines, args.telemetry_csv)
+        print(f"\n[exported {rows} telemetry rows to {args.telemetry_csv}]")
+    if getattr(args, "telemetry_trace", None):
+        events = save_chrome_counters(timelines, args.telemetry_trace)
+        print(f"[exported {events} counter events to {args.telemetry_trace}]")

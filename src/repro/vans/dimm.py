@@ -129,6 +129,9 @@ class NvramDimm:
         self.media_port.publish(bus, "media_port")
         self.bus.publish(bus, "return_bus")
         self.wear.publish(bus, "wear")
+        self.media.publish(bus, "media")
+        if self.lazy is not None:
+            self.lazy.publish(bus, "lazy")
 
     # ------------------------------------------------------------------
     # address helpers

@@ -90,6 +90,9 @@ class MemoryModeSystem(TargetSystem):
         if fl.enabled:
             fl.span("memmode.dram", filled, done, phase="fill")
             fl.end(done)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.tick(done)
         return done
 
     def write(self, addr: int, now: int) -> int:
@@ -113,6 +116,9 @@ class MemoryModeSystem(TargetSystem):
         if fl.enabled:
             fl.span("memmode.dram", filled, done, phase="fill")
             fl.end(done)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.tick(done)
         return done
 
     def fence(self, now: int) -> int:
@@ -135,3 +141,9 @@ class MemoryModeSystem(TargetSystem):
         for path, value in self.nvram.instrument_snapshot().items():
             snap[f"nvram.{path}"] = value
         return snap
+
+    def stat_registries(self) -> list:
+        """Own cache stats plus the inner NVRAM system's registry (the
+        telemetry sampler reads both; the nvram bus gauges already land
+        on this system's root bus via the ``nvram.`` scope)."""
+        return [self.stats, self.nvram.stats]

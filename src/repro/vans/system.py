@@ -54,6 +54,9 @@ class VansSystem(TargetSystem):
             fl.end(done)
         if self._collect:
             self._hist_read.record(done - now)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.tick(done)
         return done
 
     def write(self, addr: int, now: int) -> int:
@@ -68,6 +71,9 @@ class VansSystem(TargetSystem):
             fl.end(accept)
         if self._collect:
             self._hist_write.record(accept - now)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.tick(accept)
         return accept
 
     def fence(self, now: int) -> int:
@@ -77,6 +83,9 @@ class VansSystem(TargetSystem):
         done = self.imc.fence(now)
         if fl.enabled:
             fl.end(done)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.tick(done)
         return done
 
     def warm_fill(self, start_addr: int, length: int) -> None:

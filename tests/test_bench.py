@@ -1,0 +1,174 @@
+"""repro-bench: suite runs, document schema, baseline diff + gate."""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.telemetry.bench import (
+    BENCH_SCHEMA,
+    SUITES,
+    Delta,
+    diff_bench,
+    find_baseline,
+    gate,
+    run_suite,
+    suite_ids,
+    validate_bench,
+)
+from repro.tools import bench_cli
+
+
+@pytest.fixture(scope="module")
+def tiny_doc():
+    """One real (fast) suite run, shared across this module's tests."""
+    SUITES["_tiny"] = ("fig1",)
+    try:
+        return run_suite("_tiny")
+    finally:
+        del SUITES["_tiny"]
+
+
+class TestSuites:
+    def test_known_suites_resolve(self):
+        for name in SUITES:
+            ids = suite_ids(name)
+            assert ids, name
+
+    def test_full_is_whole_registry(self):
+        from repro.experiments.runner import REGISTRY
+        assert suite_ids("full") == list(REGISTRY)
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(KeyError):
+            suite_ids("nope")
+
+
+class TestRunSuite:
+    def test_document_is_valid_and_complete(self, tiny_doc):
+        assert validate_bench(tiny_doc) == []
+        assert tiny_doc["schema"] == BENCH_SCHEMA
+        entry = tiny_doc["experiments"]["fig1"]
+        assert entry["requests"] > 0
+        assert entry["wall_s"] > 0
+        assert entry["requests_per_s"] > 0
+        assert entry["metrics"]  # model outputs captured
+        assert tiny_doc["totals"]["requests"] == entry["requests"]
+
+    def test_manifest_embedded(self, tiny_doc):
+        from repro.telemetry.manifest import validate_manifest
+        assert validate_manifest(tiny_doc["manifest"]) == []
+        assert tiny_doc["manifest"]["config"]["suite"] == "_tiny"
+
+    def test_json_round_trip(self, tiny_doc):
+        assert validate_bench(json.loads(json.dumps(tiny_doc))) == []
+
+
+class TestValidate:
+    def test_flags_missing_keys(self):
+        problems = validate_bench({"schema": BENCH_SCHEMA})
+        assert any("experiments" in p for p in problems)
+
+    def test_flags_wrong_schema(self):
+        assert any("schema" in p for p in validate_bench({"schema": "x/0"}))
+
+
+class TestDiffAndGate:
+    def _pair(self, tiny_doc):
+        old = copy.deepcopy(tiny_doc)
+        new = copy.deepcopy(tiny_doc)
+        return old, new
+
+    def test_identical_runs_have_no_metric_drift(self, tiny_doc):
+        old, new = self._pair(tiny_doc)
+        deltas = diff_bench(old, new)
+        assert deltas["metrics"] == []
+        assert gate(deltas, "all") == []
+
+    def test_metric_drift_gates(self, tiny_doc):
+        old, new = self._pair(tiny_doc)
+        key = next(iter(new["experiments"]["fig1"]["metrics"]))
+        new["experiments"]["fig1"]["metrics"][key] *= 1.10
+        deltas = diff_bench(old, new)
+        assert len(deltas["metrics"]) == 1
+        assert gate(deltas, "metrics")
+        assert gate(deltas, "perf") == []
+        assert gate(deltas, "none") == []
+
+    def test_request_count_change_is_a_metric(self, tiny_doc):
+        old, new = self._pair(tiny_doc)
+        new["experiments"]["fig1"]["requests"] += 1
+        deltas = diff_bench(old, new)
+        assert any(d.key == "fig1.requests" for d in deltas["metrics"])
+
+    def test_perf_gate_only_fails_slowdowns(self, tiny_doc):
+        old, new = self._pair(tiny_doc)
+        new["experiments"]["fig1"]["wall_s"] = \
+            old["experiments"]["fig1"]["wall_s"] * 2
+        slow = gate(diff_bench(old, new), "perf")
+        assert any(d.key == "fig1.wall_s" for d in slow)
+        # a 2x speedup must NOT gate
+        new["experiments"]["fig1"]["wall_s"] = \
+            old["experiments"]["fig1"]["wall_s"] / 2
+        assert gate(diff_bench(old, new), "perf") == []
+
+    def test_delta_render(self):
+        delta = Delta("x.y", "metric", 10.0, 11.0)
+        assert "+10.00%" in delta.render()
+        assert delta.exceeds(0.05)
+        assert not delta.exceeds(0.2)
+
+
+class TestBaselineDiscovery:
+    def test_latest_by_name_excluding_output(self, tmp_path):
+        for name in ("BENCH_2026-08-01.json", "BENCH_2026-08-05.json",
+                     "BENCH_2026-08-06.json", "other.json"):
+            (tmp_path / name).write_text("{}")
+        latest = find_baseline(str(tmp_path), exclude="BENCH_2026-08-06.json")
+        assert os.path.basename(latest) == "BENCH_2026-08-05.json"
+
+    def test_empty_or_missing_directory(self, tmp_path):
+        assert find_baseline(str(tmp_path)) is None
+        assert find_baseline(str(tmp_path / "absent")) is None
+
+
+class TestCli:
+    def test_list_suites(self, capsys):
+        assert bench_cli.main(["--list"]) == 0
+        assert "smoke:" in capsys.readouterr().out
+
+    def test_check_valid_document(self, tmp_path, tiny_doc, capsys):
+        path = tmp_path / "BENCH_2026-08-05.json"
+        path.write_text(json.dumps(tiny_doc))
+        assert bench_cli.main(["--check", str(path)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_check_invalid_document(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        assert bench_cli.main(["--check", str(path)]) == bench_cli.EXIT_USAGE
+
+    def test_run_diff_and_regression_gate(self, tmp_path, tiny_doc):
+        """End-to-end: doctored baseline -> exit 3 on the metrics gate."""
+        SUITES["_tiny"] = ("fig1",)
+        try:
+            baseline = copy.deepcopy(tiny_doc)
+            key = next(iter(baseline["experiments"]["fig1"]["metrics"]))
+            baseline["experiments"]["fig1"]["metrics"][key] *= 1.5
+            base_path = tmp_path / "BENCH_2026-01-01.json"
+            base_path.write_text(json.dumps(baseline))
+            code = bench_cli.main([
+                "--suite", "_tiny", "--out", str(tmp_path),
+                "--date", "2026-01-02", "--gate", "metrics"])
+            assert code == bench_cli.EXIT_REGRESSION
+            # same run, gate off -> clean exit, artifact written
+            code = bench_cli.main([
+                "--suite", "_tiny", "--out", str(tmp_path),
+                "--date", "2026-01-03", "--gate", "none"])
+            assert code == 0
+            written = json.loads(
+                (tmp_path / "BENCH_2026-01-03.json").read_text())
+            assert validate_bench(written) == []
+        finally:
+            del SUITES["_tiny"]

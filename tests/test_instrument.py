@@ -48,6 +48,40 @@ class TestInstrumentBus:
         assert snap["lat.mean"] == 20
         assert snap["lat.max"] == 30
 
+    def test_histogram_snapshot_keys_are_uniform(self):
+        """Every histogram expands to the same self-describing key set."""
+        bus = InstrumentBus()
+        bus.histogram("lat").record(10)
+        bus.histogram("empty")  # registered, never recorded
+        snap = bus.snapshot()
+        for name in ("lat", "empty"):
+            for key in ("count", "sum", "min", "max", "mean", "p50", "p99"):
+                assert f"{name}.{key}" in snap, f"{name}.{key}"
+        assert snap["empty.count"] == 0
+        assert snap["lat.p50"] == 10
+        assert snap["lat.p99"] == 10
+
+    def test_failing_gauge_does_not_abort_snapshot(self):
+        """A raising gauge is reported under 'errors'; the rest survives."""
+        bus = InstrumentBus()
+        bus.counter("ok.count").add(3)
+        bus.gauge("ok.depth", lambda: 7)
+        bus.gauge("bad.depth", lambda: 1 // 0)
+        snap = bus.snapshot()
+        assert snap["ok.count"] == 3
+        assert snap["ok.depth"] == 7
+        assert "bad.depth" not in snap
+        assert snap["errors"] == ["bad.depth"]
+
+    def test_failing_gauge_errors_rescope(self):
+        """ScopedBus.snapshot re-scopes error paths like value paths."""
+        bus = InstrumentBus()
+        scoped = bus.scope("dimm")
+        scoped.gauge("bad", lambda: 1 // 0)
+        bus.gauge("other.bad", lambda: 1 // 0)
+        assert bus.snapshot()["errors"] == ["dimm.bad", "other.bad"]
+        assert scoped.snapshot()["errors"] == ["bad"]
+
 
 class TestScopedBus:
     def test_scope_prefixes_paths(self):

@@ -50,6 +50,13 @@ class TestMetadata:
             assert spec.section
 
 
+def _deterministic_dict(result):
+    """result_to_dict minus wall-clock fields (excluded by definition)."""
+    doc = result_to_dict(result)
+    doc.pop("wall_s")
+    return doc
+
+
 class TestParallelDeterminism:
     def test_workers_match_serial_bit_for_bit(self):
         serial = run_all(Scale.SMOKE, ids=FAST_IDS)
@@ -57,7 +64,12 @@ class TestParallelDeterminism:
         assert [r.experiment for r in serial] == \
                [r.experiment for r in parallel]
         for a, b in zip(serial, parallel):
-            assert result_to_dict(a) == result_to_dict(b)
+            assert _deterministic_dict(a) == _deterministic_dict(b)
+
+    def test_wall_seconds_attached_to_every_result(self):
+        for result in run_all(Scale.SMOKE, ids=["fig1"]):
+            assert result.wall_s > 0
+            assert result_to_dict(result)["wall_s"] == result.wall_s
 
     def test_instrumentation_attached_to_every_result(self):
         for result in run_all(Scale.SMOKE, ids=["fig1"]):
