@@ -45,6 +45,9 @@ class PMEPModel(TargetSystem):
 
     def read(self, addr: int, now: int) -> int:
         """DRAM access plus the injected constant NVRAM delay."""
+        fa = self.faults
+        if fa.enabled:
+            fa.on_request(now)
         done = self.dram.access(addr, False, now) + self.read_delay_ps
         tel = self.telemetry
         if tel.enabled:
@@ -55,6 +58,9 @@ class PMEPModel(TargetSystem):
         """Cached store write-back: PMEP only injects delay on demand
         loads, so store streams run at (throttled) DRAM speed — which is
         why PMEP ranks cached stores *above* nt-stores (Fig. 1a)."""
+        fa = self.faults
+        if fa.enabled:
+            fa.on_request(now)
         start = self._throttle.serve(now, self._throttle_ps)
         done = self.dram.access(addr, True, start) + self.write_delay_ps
         tel = self.telemetry

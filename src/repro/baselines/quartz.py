@@ -47,6 +47,9 @@ class QuartzModel(TargetSystem):
         return now
 
     def read(self, addr: int, now: int) -> int:
+        fa = self.faults
+        if fa.enabled:
+            fa.on_request(now)
         done = self._account(self.extra_read_ps,
                              self.dram.access(addr, False, now))
         tel = self.telemetry
@@ -55,6 +58,9 @@ class QuartzModel(TargetSystem):
         return done
 
     def write(self, addr: int, now: int) -> int:
+        fa = self.faults
+        if fa.enabled:
+            fa.on_request(now)
         done = self._account(self.extra_write_ps,
                              self.dram.access(addr, True, now))
         tel = self.telemetry

@@ -37,6 +37,9 @@ class SlowDramSystem(TargetSystem):
 
     def read(self, addr: int, now: int) -> int:
         self._c_reads.add()
+        fa = self.faults
+        if fa.enabled:
+            fa.on_request(now)
         done = self.dram.access(addr, False, now + self.frontend_ps)
         tel = self.telemetry
         if tel.enabled:
@@ -45,6 +48,9 @@ class SlowDramSystem(TargetSystem):
 
     def write(self, addr: int, now: int) -> int:
         self._c_writes.add()
+        fa = self.faults
+        if fa.enabled:
+            fa.on_request(now)
         done = self.dram.access(addr, True, now + self.frontend_ps)
         tel = self.telemetry
         if tel.enabled:

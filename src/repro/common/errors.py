@@ -22,6 +22,15 @@ class SimulationError(ReproError):
     """The simulation reached an impossible or deadlocked state."""
 
 
+class FaultPlanError(ReproError):
+    """A fault-injection plan document is malformed or inconsistent.
+
+    Raised when a ``repro.faultplan/1`` document fails validation or a
+    :class:`~repro.faults.plan.FaultSpec` is constructed with
+    contradictory trigger/parameter combinations.
+    """
+
+
 class UnknownTargetError(ReproError):
     """A target-system name not present in the target registry.
 

@@ -47,6 +47,9 @@ class Engine:
         #: kernel stays dependency-free; ``None`` costs one load + branch
         #: per fired event.
         self.telemetry: Optional[Any] = None
+        #: optional fault injector ticked the same way (sim-time fault
+        #: triggers fire as the clock passes them); same contract.
+        self.faults: Optional[Any] = None
 
     @property
     def now(self) -> int:
@@ -83,6 +86,7 @@ class Engine:
         """
         fired = 0
         tel = self.telemetry
+        faults = self.faults
         while self._heap:
             event = self._heap[0]
             if until is not None and event.time > until:
@@ -98,6 +102,8 @@ class Engine:
             self._processed += 1
             if tel is not None and tel.enabled:
                 tel.tick(self._now)
+            if faults is not None and faults.enabled:
+                faults.tick(self._now)
             fired += 1
             if max_events is not None and fired >= max_events:
                 break
@@ -119,6 +125,9 @@ class Engine:
             tel = self.telemetry
             if tel is not None and tel.enabled:
                 tel.tick(self._now)
+            faults = self.faults
+            if faults is not None and faults.enabled:
+                faults.tick(self._now)
             return (event.time, event.fn)
         return None
 

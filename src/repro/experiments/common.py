@@ -46,6 +46,23 @@ class ExperimentResult:
     #: wall-clock seconds the producing experiment took (attached by the
     #: runner; excluded from determinism comparisons by definition).
     wall_s: float = 0.0
+    #: run outcome: "ok" | "failed" | "timeout" | "quarantined".  The
+    #: crash-tolerant runner degrades gracefully — a campaign always
+    #: yields one result per experiment, with non-"ok" placeholders for
+    #: the ones that raised, hung, or were quarantined after retries.
+    status: str = "ok"
+    #: remote traceback (or watchdog message) for non-"ok" results
+    error: str = ""
+    #: execution attempts consumed (1 on first-try success)
+    attempts: int = 1
+    #: fault-run report (``repro.faultreport/1``) attached by the runner
+    #: when the campaign ran under a fault plan; includes the
+    #: persistence audit when a power cut triggered.
+    faults: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     def add_row(self, *values) -> None:
         self.rows.append(tuple(values))
@@ -53,6 +70,12 @@ class ExperimentResult:
     def render(self) -> str:
         """Aligned-text rendering of the rows plus headline metrics."""
         out = [f"== {self.experiment}: {self.title} =="]
+        if self.status != "ok":
+            out.append(f"status: {self.status.upper()} "
+                       f"after {self.attempts} attempt(s)")
+            if self.error:
+                last = self.error.strip().splitlines()[-1]
+                out.append(f"error: {last}")
         if self.columns:
             widths = [len(c) for c in self.columns]
             str_rows = []

@@ -33,6 +33,10 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "flight": dict(result.flight),
         "telemetry": dict(result.telemetry),
         "wall_s": result.wall_s,
+        "status": result.status,
+        "error": result.error,
+        "attempts": result.attempts,
+        "faults": dict(result.faults),
     }
 
 

@@ -2,7 +2,7 @@
 
 ``python -m repro.experiments.runner [--paper] [--workers N] [ids...]``
 
-The runner owns three cross-cutting concerns so individual experiments
+The runner owns four cross-cutting concerns so individual experiments
 don't have to:
 
 * **metadata** — every experiment id maps to an :class:`ExperimentSpec`
@@ -14,19 +14,31 @@ don't have to:
   snapshot attached to each :class:`ExperimentResult`;
 * **determinism** — per-experiment RNG is re-seeded from
   ``(seed, experiment id)`` before each run, so ``--workers N`` is
-  bit-identical to a serial run regardless of scheduling order.
+  bit-identical to a serial run regardless of scheduling order;
+* **crash tolerance** — with ``--timeout``/``--retries`` each experiment
+  runs in a watchdogged worker process: a hang is terminated and
+  recorded as ``status="timeout"``, a crash captures the remote
+  traceback onto a ``status="failed"`` placeholder, bounded retries
+  re-execute with the identical seed (exponential backoff), and specs
+  that keep failing are ``status="quarantined"``.  A campaign always
+  completes with one result per experiment; the exit code distinguishes
+  all-ok (0), partial (4), and total (1) failure.
 """
 
 from __future__ import annotations
 
 import argparse
+import multiprocessing
+import multiprocessing.connection
 import random
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import traceback
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import replace as dc_replace
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
 
 from repro.common.errors import UnknownExperimentError
 from repro.experiments import ablation, bandwidth_matrix, characterize
@@ -34,6 +46,11 @@ from repro.experiments import energy_study, fig01, fig03, fig05, fig06
 from repro.experiments import fig07, fig09, fig10, fig11, fig12, fig13
 from repro.experiments import numa_study, scaling, tables
 from repro.experiments.common import ExperimentResult, Scale
+from repro.faults.injector import FaultInjector
+from repro.faults.injector import session as faults_session
+from repro.faults.persistence import PersistenceChecker
+from repro.faults.plan import FaultPlan
+from repro.faults.report import fault_report
 from repro.flight import (FlightRecord, FlightRecorder, breakdowns,
                           save_chrome_trace)
 from repro.flight import session as flight_session
@@ -42,6 +59,15 @@ from repro.telemetry import TelemetrySampler
 from repro.telemetry import session as telemetry_session
 
 DEFAULT_SEED = 42
+
+#: first-retry delay; attempt ``n`` waits ``BACKOFF_S * 2**(n-1)``
+BACKOFF_S = 0.5
+
+#: exit codes main() returns for campaign outcomes
+EXIT_OK = 0
+EXIT_ALL_FAILED = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 4
 
 
 @dataclass(frozen=True)
@@ -152,7 +178,8 @@ def make_flight_recorder(spec: Optional[Mapping[str, object]]
 def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
                    seed: int = DEFAULT_SEED,
                    flight: Optional[FlightRecorder] = None,
-                   telemetry: Optional[Mapping[str, object]] = None
+                   telemetry: Optional[Mapping[str, object]] = None,
+                   faults: Optional[Mapping[str, object]] = None
                    ) -> List[ExperimentResult]:
     """Run one experiment id; returns its results as a flat list.
 
@@ -172,6 +199,14 @@ def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
     constructed here, so serial and worker-process runs build identical
     samplers and their timelines stay bit-identical.  Each result then
     carries ``{"summary": ..., "timeline": ...}`` in ``result.telemetry``.
+
+    ``faults`` is likewise a *plan document* (``repro.faultplan/1``
+    mapping, or a :class:`FaultPlan`), not a live injector: the
+    per-experiment :class:`FaultInjector` + :class:`PersistenceChecker`
+    are constructed here and attached to every system the registry
+    builds, and each result carries the fault report (injection
+    counters plus the persistence audit when a power cut triggered) in
+    ``result.faults``.
     """
     spec = REGISTRY.get(exp_id)
     if spec is None:
@@ -182,7 +217,14 @@ def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
     sampler = TelemetrySampler(**telemetry) if telemetry is not None else None
     tel_session = (telemetry_session(sampler) if sampler is not None
                    else nullcontext())
-    with session, tel_session:
+    injector: Optional[FaultInjector] = None
+    if faults is not None:
+        plan = (faults if isinstance(faults, FaultPlan)
+                else FaultPlan.from_dict(faults))
+        injector = FaultInjector(plan, checker=PersistenceChecker())
+    fa_session = (faults_session(injector) if injector is not None
+                  else nullcontext())
+    with session, tel_session, fa_session:
         with Collection() as collection:
             out = spec.run(scale)
             results = [out] if isinstance(out, ExperimentResult) else list(out)
@@ -199,63 +241,153 @@ def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
     if sampler is not None:
         telemetry_doc = {"summary": sampler.summary(),
                          "timeline": sampler.timeline.as_dict()}
+    faults_doc: Dict[str, object] = {}
+    if injector is not None:
+        faults_doc = fault_report(injector)
     for result in results:
         result.instrumentation = dict(snapshot)
         result.flight = dict(flight_summary)
         result.telemetry = dict(telemetry_doc)
+        result.faults = dict(faults_doc)
         result.wall_s = wall_s
     return results
 
 
 def run_all(scale: Scale = Scale.SMOKE, ids: Optional[List[str]] = None,
             seed: int = DEFAULT_SEED, workers: int = 1,
-            telemetry: Optional[Dict[str, object]] = None
+            telemetry: Optional[Dict[str, object]] = None,
+            faults: Optional[Mapping[str, object]] = None,
+            timeout_s: Optional[float] = None, retries: int = 0
             ) -> List[ExperimentResult]:
     """Run experiments (all by default), serial or fan-out.
 
     Results come back in registry order either way; with ``workers > 1``
     each experiment runs in its own process but is bit-identical to the
     serial run because all experiment randomness is seeded per id and
-    telemetry samplers are built per experiment from the same spec.
+    telemetry/fault sessions are built per experiment from the same
+    specs.  With ``timeout_s`` or ``retries`` set, experiments run under
+    the crash-tolerant process scheduler even at ``workers=1`` (a
+    watchdog needs process isolation); a plain serial run still degrades
+    gracefully — an experiment that raises becomes a ``status="failed"``
+    placeholder instead of aborting the campaign.
     """
     ids = validate_ids(ids) if ids else list(REGISTRY)
-    if workers <= 1:
+    if workers <= 1 and timeout_s is None and not retries:
         results: List[ExperimentResult] = []
         for exp_id in ids:
-            results.extend(run_experiment(exp_id, scale, seed,
-                                          telemetry=telemetry))
+            try:
+                results.extend(run_experiment(exp_id, scale, seed,
+                                              telemetry=telemetry,
+                                              faults=faults))
+            except Exception:
+                results.append(_failure_result(
+                    exp_id, "failed", traceback.format_exc(), attempts=1))
         return results
     by_id = _run_parallel(ids, scale, seed, workers,
-                          telemetry_spec=telemetry)
+                          telemetry_spec=telemetry, faults_spec=faults,
+                          timeout_s=timeout_s, retries=retries)
     return [r for exp_id in ids for r in by_id[exp_id][0]]
 
 
-def _worker(job: Tuple[str, str, int, Optional[Dict[str, object]],
-                       Optional[Dict[str, object]]]
-            ) -> Tuple[str, List[ExperimentResult], float,
-                       List[FlightRecord]]:
-    exp_id, scale_value, seed, flight_spec, telemetry_spec = job
+#: job tuple: (exp_id, scale_value, seed, flight_spec, telemetry_spec,
+#:             faults_spec) — retries re-send the identical tuple, so
+#: re-executions preserve the seed and every session spec bit-for-bit.
+_Job = Tuple[str, str, int, Optional[Dict[str, object]],
+             Optional[Dict[str, object]], Optional[Dict[str, object]]]
+
+
+def _worker(job: _Job) -> Tuple[str, List[ExperimentResult], float,
+                                List[FlightRecord]]:
+    exp_id, scale_value, seed, flight_spec, telemetry_spec, faults_spec = job
     start = time.time()
     recorder = make_flight_recorder(flight_spec)
     results = run_experiment(exp_id, Scale(scale_value), seed,
-                             flight=recorder, telemetry=telemetry_spec)
+                             flight=recorder, telemetry=telemetry_spec,
+                             faults=faults_spec)
     records = recorder.records if recorder is not None else []
     return exp_id, results, time.time() - start, records
+
+
+def _campaign_child(conn, job: _Job) -> None:
+    """Worker-process entry: run one job, ship outcome over the pipe.
+
+    The remote traceback is stringified here — exception objects from
+    experiment code don't always unpickle in the parent, and the
+    original stack is gone by then anyway (the lost-traceback bug this
+    replaces ``ProcessPoolExecutor`` to fix).
+    """
+    try:
+        conn.send(("ok", _worker(job)))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _failure_result(exp_id: str, status: str, error: str,
+                    attempts: int) -> ExperimentResult:
+    """Placeholder result for an experiment that never produced one."""
+    spec = REGISTRY.get(exp_id)
+    result = ExperimentResult(
+        experiment=exp_id,
+        title=spec.description if spec is not None else exp_id,
+        notes="no data: experiment did not complete",
+    )
+    result.status = status
+    result.error = error
+    result.attempts = attempts
+    return result
+
+
+@dataclass
+class _Attempt:
+    """One scheduled execution of an experiment id."""
+
+    exp_id: str
+    attempt: int          # 1-based
+    not_before: float     # wall-clock gate (exponential backoff)
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits registry mutations made by callers
+    such as tests registering synthetic specs); fall back to the
+    platform default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
 def _run_parallel(ids: List[str], scale: Scale, seed: int, workers: int,
                   flight_spec: Optional[Dict[str, object]] = None,
                   heartbeat: bool = False,
-                  telemetry_spec: Optional[Dict[str, object]] = None
+                  telemetry_spec: Optional[Dict[str, object]] = None,
+                  faults_spec: Optional[Mapping[str, object]] = None,
+                  timeout_s: Optional[float] = None,
+                  retries: int = 0,
+                  backoff_s: float = BACKOFF_S,
                   ) -> Dict[str, Tuple[List[ExperimentResult], float,
                                        List[FlightRecord]]]:
-    """Fan experiments out over processes; longest-first for packing.
+    """Crash-tolerant process fan-out; longest-first for packing.
+
+    Each experiment runs in its own watchdogged process:
+
+    * ``timeout_s`` — a worker past its deadline is terminated and the
+      attempt recorded as a timeout;
+    * ``retries`` — failed/timed-out attempts are re-executed with the
+      identical job tuple (seed preserved) after exponential backoff
+      (``backoff_s * 2**(attempt-1)``), up to ``retries`` extra times;
+    * quarantine — an experiment that exhausts its retries is recorded
+      as ``status="quarantined"`` (``"failed"``/``"timeout"`` when no
+      retries were requested) with the last remote traceback attached,
+      and the campaign continues: every id always gets an entry.
 
     With ``heartbeat`` the parent prints a ``[done k/n]`` stderr line as
-    each future completes — with wall-clock elapsed and an ETA weighted
-    by the remaining experiments' ``est_cost`` — so long parallel runs
-    stay observable (worker processes can't share the parent's progress
-    stream).
+    each experiment settles — with wall-clock elapsed and an ETA
+    weighted by the remaining experiments' ``est_cost`` — so long
+    parallel runs stay observable (worker processes can't share the
+    parent's progress stream).
     """
     order = sorted(ids, key=lambda i: -REGISTRY[i].est_cost)
     total_cost = sum(REGISTRY[i].est_cost for i in order) or 1.0
@@ -263,27 +395,137 @@ def _run_parallel(ids: List[str], scale: Scale, seed: int, workers: int,
                            List[FlightRecord]]] = {}
     wall_start = time.time()
     done_cost = 0.0
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {pool.submit(_worker, (i, scale.value, seed, flight_spec,
-                                         telemetry_spec)): i
-                   for i in order}
-        done = 0
-        for future in as_completed(futures):
-            exp_id, results, elapsed, records = future.result()
-            by_id[exp_id] = (results, elapsed, records)
-            done += 1
-            done_cost += REGISTRY[exp_id].est_cost
+    done = 0
+    ctx = _mp_context()
+    if isinstance(faults_spec, FaultPlan):
+        faults_spec = faults_spec.to_dict()
+
+    pending: List[_Attempt] = [_Attempt(i, 1, 0.0) for i in order]
+    #: receiving pipe end -> (process, attempt, start wall-clock)
+    running: Dict[Any, Tuple[Any, _Attempt, float]] = {}
+
+    def settle(exp_id: str, payload, elapsed: float, status: str,
+               error: str, attempt: int) -> None:
+        nonlocal done, done_cost
+        if status == "ok":
+            results, records = payload
+            for result in results:
+                result.attempts = attempt
+        else:
+            results = [_failure_result(exp_id, status, error, attempt)]
+            records = []
+        by_id[exp_id] = (results, elapsed, records)
+        done += 1
+        done_cost += REGISTRY[exp_id].est_cost
+        if heartbeat:
+            wall = time.time() - wall_start
+            if 0 < done_cost < total_cost:
+                eta_note = (f" eta ~"
+                            f"{wall * (total_cost - done_cost) / done_cost:.0f}s")
+            else:
+                eta_note = ""
+            note = "" if status == "ok" else f" [{status.upper()}]"
+            print(f"[done {done}/{len(order)}] {exp_id}{note} "
+                  f"({elapsed:.1f}s) elapsed {wall:.1f}s{eta_note}",
+                  file=sys.stderr, flush=True)
+
+    def fail(attempt: _Attempt, status: str, error: str,
+             elapsed: float) -> None:
+        if attempt.attempt <= retries:
+            delay = backoff_s * (2 ** (attempt.attempt - 1))
+            pending.append(_Attempt(attempt.exp_id, attempt.attempt + 1,
+                                    time.time() + delay))
             if heartbeat:
-                wall = time.time() - wall_start
-                if done_cost < total_cost and done_cost > 0:
-                    eta = wall * (total_cost - done_cost) / done_cost
-                    eta_note = f" eta ~{eta:.0f}s"
-                else:
-                    eta_note = ""
-                print(f"[done {done}/{len(order)}] {exp_id} "
-                      f"({elapsed:.1f}s) elapsed {wall:.1f}s{eta_note}",
-                      file=sys.stderr, flush=True)
+                print(f"[retry {attempt.exp_id}: attempt "
+                      f"{attempt.attempt} {status}; backing off "
+                      f"{delay:.1f}s]", file=sys.stderr, flush=True)
+            return
+        final = "quarantined" if retries > 0 else status
+        settle(attempt.exp_id, None, elapsed, final, error, attempt.attempt)
+
+    def launch(attempt: _Attempt) -> None:
+        job: _Job = (attempt.exp_id, scale.value, seed, flight_spec,
+                     telemetry_spec,
+                     dict(faults_spec) if faults_spec is not None else None)
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_campaign_child, args=(child_conn, job),
+                           daemon=True)
+        proc.start()
+        child_conn.close()
+        running[parent_conn] = (proc, attempt, time.time())
+
+    while pending or running:
+        now = time.time()
+        # launch every runnable attempt while worker slots are free
+        while len(running) < max(1, workers):
+            ready = [a for a in pending if a.not_before <= now]
+            if not ready:
+                break
+            nxt = ready[0]
+            pending.remove(nxt)
+            launch(nxt)
+
+        if not running:
+            # everything pending is in a backoff window; sleep it out
+            gate = min(a.not_before for a in pending)
+            time.sleep(max(0.0, min(gate - time.time(), backoff_s)))
+            continue
+
+        # wait for a completion, the nearest watchdog deadline, or the
+        # nearest backoff gate — whichever comes first
+        wait_s: Optional[float] = None
+        if timeout_s is not None:
+            nearest = min(start + timeout_s
+                          for _, _, start in running.values())
+            wait_s = max(0.0, nearest - time.time())
+        if pending:
+            gate = min(a.not_before for a in pending)
+            gap = max(0.0, gate - time.time())
+            wait_s = gap if wait_s is None else min(wait_s, gap)
+        fired = multiprocessing.connection.wait(list(running), wait_s)
+
+        for conn in fired:
+            proc, attempt, started = running.pop(conn)
+            elapsed = time.time() - started
+            try:
+                kind, payload = conn.recv()
+            except (EOFError, OSError):
+                kind, payload = ("error",
+                                 f"worker died without reporting "
+                                 f"(exit code {proc.exitcode})")
+            conn.close()
+            proc.join()
+            if kind == "ok":
+                exp_id, results, wall, records = payload
+                settle(exp_id, (results, records), wall, "ok", "",
+                       attempt.attempt)
+            else:
+                fail(attempt, "failed", payload, elapsed)
+
+        if timeout_s is not None:
+            now = time.time()
+            expired = [conn for conn, (_, _, started) in running.items()
+                       if now - started >= timeout_s]
+            for conn in expired:
+                proc, attempt, started = running.pop(conn)
+                proc.terminate()
+                proc.join()
+                conn.close()
+                fail(attempt, "timeout",
+                     f"experiment exceeded --timeout {timeout_s}s "
+                     f"(attempt {attempt.attempt}); worker terminated",
+                     now - started)
     return by_id
+
+
+def campaign_exit_code(results: Sequence[ExperimentResult]) -> int:
+    """0 when every result is ok, 1 when none are, 4 when partial."""
+    if not results:
+        return EXIT_ALL_FAILED
+    ok = sum(1 for r in results if r.status == "ok")
+    if ok == len(results):
+        return EXIT_OK
+    return EXIT_ALL_FAILED if ok == 0 else EXIT_PARTIAL
 
 
 def _print_listing() -> None:
@@ -322,6 +564,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(bit-identical to serial)")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
                         help="base seed for per-experiment RNG")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="watchdog: terminate any experiment running "
+                             "longer than S seconds (status=timeout)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="re-execute failed/timed-out experiments up "
+                             "to N times (same seed, exponential backoff); "
+                             "still-failing specs are quarantined")
+    parser.add_argument("--faults", metavar="PATH",
+                        help="run the campaign under a fault plan "
+                             "(repro.faultplan/1 JSON; see repro-faults)")
+    parser.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                        help="with --faults, override the plan seed; "
+                             "alone, run under a randomized plan "
+                             "generated from seed N")
     parser.add_argument("--plot", action="store_true",
                         help="draw ASCII charts of each result's series")
     parser.add_argument("--json", metavar="PATH",
@@ -367,12 +623,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             flight_spec = {"mode": "all"}
     telemetry_spec = telemetry_spec_from_args(args)
 
+    faults_spec: Optional[Dict[str, object]] = None
+    if args.faults or args.fault_seed is not None:
+        from repro.common.errors import FaultPlanError
+        from repro.faults.plan import load_plan, random_plan
+        try:
+            if args.faults:
+                plan = load_plan(args.faults)
+                if args.fault_seed is not None:
+                    plan = dc_replace(plan, seed=args.fault_seed)
+            else:
+                plan = random_plan(args.fault_seed)
+        except FaultPlanError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        faults_spec = plan.to_dict()
+
     collected: List[ExperimentResult] = []
     all_records: List[FlightRecord] = []
-    if args.workers > 1:
+    crash_tolerant = (args.workers > 1 or args.timeout is not None
+                      or args.retries > 0)
+    if crash_tolerant:
         by_id = _run_parallel(ids, scale, args.seed, args.workers,
                               flight_spec=flight_spec, heartbeat=True,
-                              telemetry_spec=telemetry_spec)
+                              telemetry_spec=telemetry_spec,
+                              faults_spec=faults_spec,
+                              timeout_s=args.timeout, retries=args.retries)
         for exp_id in ids:
             results, elapsed, records = by_id[exp_id]
             all_records.extend(records)
@@ -384,9 +660,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         for exp_id in ids:
             start = time.time()
             recorder = make_flight_recorder(flight_spec)
-            for result in run_experiment(exp_id, scale, args.seed,
+            try:
+                results = run_experiment(exp_id, scale, args.seed,
                                          flight=recorder,
-                                         telemetry=telemetry_spec):
+                                         telemetry=telemetry_spec,
+                                         faults=faults_spec)
+            except Exception:
+                results = [_failure_result(exp_id, "failed",
+                                           traceback.format_exc(),
+                                           attempts=1)]
+            for result in results:
                 collected.append(result)
                 _print_result(result, args.plot)
             if recorder is not None:
@@ -406,7 +689,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.export import save_json
         count = save_json(collected, args.json)
         print(f"[exported {count} results to {args.json}]")
-    return 0
+    failed = [r for r in collected if r.status != "ok"]
+    if failed:
+        print(f"[{len(failed)}/{len(collected)} result(s) not ok: "
+              + ", ".join(f"{r.experiment}={r.status}" for r in failed)
+              + "]", file=sys.stderr)
+    return campaign_exit_code(collected)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,83 @@
+"""Fault injection and power-failure persistence checking.
+
+The paper's premise is that Optane DIMMs fail in subtle,
+microarchitecture-specific ways: the ADR power-fail domain bounds what
+survives a power cut (the iMC WPQ drains; everything above it is lost),
+media cells wear out and go uncorrectable, and the DDR-T link can
+degrade under thermal throttling.  This package makes those failure
+modes first-class, schema'd, and deterministic:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`/:class:`FaultSpec`
+  documents (schema ``repro.faultplan/1``) scheduling power cuts,
+  media uncorrectable-error regions, transient media-latency spikes,
+  and stuck/slow DDR-T link episodes at simulated times or request
+  counts;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, consulted by
+  hooks in the event engine, iMC, DDR-T link, DIMM, 3D-XPoint media,
+  and the wear leveler.  The default everywhere is the zero-cost
+  :data:`NULL_FAULTS` (the ``NULL_BUS``/``NULL_FLIGHT``/
+  ``NULL_TELEMETRY`` contract: one attribute load and a branch);
+* :mod:`repro.faults.persistence` — :class:`PersistenceChecker`, an
+  auditor of the write/fence history that reports *lost acknowledged
+  writes* after an injected power cut (what the program was told is
+  durable but is not in the post-failure durable image);
+* :mod:`repro.faults.report` — the combined fault-run document
+  (schema ``repro.faultreport/1``) CLIs and the experiment runner
+  attach to results.
+"""
+
+from repro.faults.injector import (
+    NULL_FAULTS,
+    FaultInjector,
+    NullFaultInjector,
+    current,
+    session,
+)
+from repro.faults.plan import (
+    FAULTPLAN_SCHEMA,
+    KINDS,
+    FaultPlan,
+    FaultSpec,
+    load_plan,
+    power_cut_plan,
+    random_plan,
+    save_plan,
+    validate_plan,
+)
+from repro.faults.persistence import (
+    PERSISTENCE_SCHEMA,
+    PersistenceChecker,
+    PersistenceReport,
+    validate_persistence,
+)
+from repro.faults.report import (
+    FAULTREPORT_SCHEMA,
+    fault_report,
+    render_fault_report,
+    validate_fault_report,
+)
+
+__all__ = [
+    "FAULTPLAN_SCHEMA",
+    "FAULTREPORT_SCHEMA",
+    "KINDS",
+    "NULL_FAULTS",
+    "PERSISTENCE_SCHEMA",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "NullFaultInjector",
+    "PersistenceChecker",
+    "PersistenceReport",
+    "current",
+    "fault_report",
+    "load_plan",
+    "power_cut_plan",
+    "random_plan",
+    "render_fault_report",
+    "save_plan",
+    "session",
+    "validate_fault_report",
+    "validate_persistence",
+    "validate_plan",
+]

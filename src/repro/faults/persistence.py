@@ -1,0 +1,268 @@
+"""Power-failure persistence checking: the ADR domain as an auditor.
+
+The asynchronous-DRAM-refresh (ADR) machinery guarantees that on power
+loss the iMC's write pending queue (WPQ) drains to the DIMM, which has
+enough stored energy to finish everything already inside it.  So the
+*persistence point* of an nt-store is WPQ admission — the moment the
+system acknowledges it.  Everything **above** the WPQ is volatile: CPU
+cache lines that were never flushed+fenced, stores still in core write
+buffers, in-flight DDR-T credits.  And one thing *below* it can betray
+the guarantee: the Section V-C Lazy cache absorbs wear-hot blocks into
+on-DIMM SRAM instead of writing them through — if that SRAM's drain
+path fails on the injected cut (the adversarial scenario this checker
+models), the block's acknowledged writes are lost even though the WPQ
+accepted them.
+
+:class:`PersistenceChecker` records the write/flush/fence history as
+timestamped events (simulated picoseconds, fully deterministic) and,
+given a cut time, replays it to compute the post-failure durable image.
+Its report names every *lost acknowledged write*: a write the program
+was told is persistent whose newest data did not survive.
+
+Domains
+-------
+
+``wpq``
+    nt-store accepted by the iMC WPQ.  Durable at acknowledgement —
+    unless the line's 256B block sits dirty in the Lazy cache at the
+    cut (reason ``lazy_dirty``).
+``cache``
+    regular store completing into the CPU cache hierarchy.  Durable
+    only once a flush (``clwb``/``clflushopt``) *and* a subsequent
+    fence both land before the cut (reasons ``unflushed`` /
+    ``unfenced``).
+``lazy``
+    write absorbed directly by the Lazy cache.  Durable only after a
+    writeback — an eviction write-through — completes before the cut
+    (reason ``not_written_back``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.common.errors import FaultPlanError
+from repro.common.units import align_down
+
+#: persistence-report document version (bump on breaking key changes)
+PERSISTENCE_SCHEMA = "repro.persistence/1"
+
+#: acknowledgement domains the checker understands
+DOMAINS = ("wpq", "cache", "lazy")
+
+
+@dataclass
+class PersistenceReport:
+    """What survived an injected power cut, and what did not."""
+
+    cut_ps: int
+    #: lines with at least one acknowledged write before the cut
+    acked_lines: int = 0
+    #: lines whose newest acknowledged write is in the durable image
+    durable_lines: int = 0
+    #: lost acknowledged writes: ``{addr, ack_ps, domain, reason}``
+    lost: List[Dict[str, Any]] = field(default_factory=list)
+    #: acked-line counts per acknowledgement domain
+    by_domain: Dict[str, int] = field(default_factory=dict)
+    #: True when the checker hit its event cap and stopped recording
+    saturated: bool = False
+
+    @property
+    def lost_count(self) -> int:
+        return len(self.lost)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": PERSISTENCE_SCHEMA,
+            "cut_ps": self.cut_ps,
+            "acked_lines": self.acked_lines,
+            "durable_lines": self.durable_lines,
+            "lost_count": self.lost_count,
+            "lost": [dict(entry) for entry in self.lost],
+            "by_domain": dict(self.by_domain),
+            "saturated": self.saturated,
+        }
+
+    def render(self) -> str:
+        out = [f"== persistence check @ cut t={self.cut_ps} ps =="]
+        out.append(f"acknowledged lines: {self.acked_lines} "
+                   f"({', '.join(f'{d}={n}' for d, n in sorted(self.by_domain.items())) or 'none'})")
+        out.append(f"durable lines:      {self.durable_lines}")
+        out.append(f"LOST acknowledged:  {self.lost_count}")
+        for entry in self.lost[:20]:
+            out.append(f"  0x{entry['addr']:x} acked t={entry['ack_ps']} "
+                       f"via {entry['domain']} ({entry['reason']})")
+        if self.lost_count > 20:
+            out.append(f"  ... and {self.lost_count - 20} more")
+        if self.saturated:
+            out.append("warning: event cap hit; history is truncated")
+        return "\n".join(out)
+
+
+def validate_persistence(doc: Mapping[str, Any]) -> List[str]:
+    """Structural check of a persistence report; empty when valid."""
+    problems: List[str] = []
+    if doc.get("schema") != PERSISTENCE_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected "
+                        f"{PERSISTENCE_SCHEMA!r}")
+    for key in ("cut_ps", "acked_lines", "durable_lines", "lost_count",
+                "lost", "by_domain"):
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+    lost = doc.get("lost")
+    if isinstance(lost, list):
+        if doc.get("lost_count") != len(lost):
+            problems.append("lost_count does not match len(lost)")
+        for index, entry in enumerate(lost):
+            if not isinstance(entry, Mapping):
+                problems.append(f"lost[{index}] is not a mapping")
+                continue
+            for key in ("addr", "ack_ps", "domain", "reason"):
+                if key not in entry:
+                    problems.append(f"lost[{index}] missing {key!r}")
+    return problems
+
+
+class PersistenceChecker:
+    """Timestamped write/flush/fence history with cut-time replay.
+
+    All recording methods are cheap appends; nothing is computed until
+    :meth:`report`.  Timestamps may arrive out of order (the FCFS
+    timing algebra completes banks independently) — the replay sorts.
+
+    Args:
+        line_bytes: acknowledgement granularity (64B cache lines).
+        block_bytes: Lazy-cache granularity (256B blocks).
+        max_events: safety cap across all histories; once hit, further
+            events are dropped and the report is flagged ``saturated``.
+    """
+
+    def __init__(self, line_bytes: int = 64, block_bytes: int = 256,
+                 max_events: int = 2_000_000) -> None:
+        self.line_bytes = line_bytes
+        self.block_bytes = block_bytes
+        self.max_events = max_events
+        self._events = 0
+        self.saturated = False
+        #: line -> [(ack_ps, domain)]
+        self._acks: Dict[int, List[Tuple[int, str]]] = {}
+        #: line -> [flush_ps]
+        self._flushes: Dict[int, List[int]] = {}
+        self._fences: List[int] = []
+        #: (t, block, +1 absorb / -1 writeback) in arrival order
+        self._lazy: List[Tuple[int, int, int]] = []
+
+    # -- recording -------------------------------------------------------
+
+    def _room(self) -> bool:
+        if self._events >= self.max_events:
+            self.saturated = True
+            return False
+        self._events += 1
+        return True
+
+    def _line_of(self, addr: int) -> int:
+        return align_down(addr, self.line_bytes)
+
+    def _block_of(self, addr: int) -> int:
+        return align_down(addr, self.block_bytes)
+
+    def ack(self, addr: int, t: int, domain: str = "wpq") -> None:
+        """A write to ``addr`` was acknowledged to the program at ``t``."""
+        if domain not in DOMAINS:
+            raise FaultPlanError(
+                f"unknown persistence domain {domain!r}; "
+                f"expected one of {DOMAINS}")
+        if self._room():
+            self._acks.setdefault(self._line_of(addr), []).append((t, domain))
+
+    def flush(self, addr: int, t: int) -> None:
+        """A cache-line flush (``clwb``-style) of ``addr`` issued at ``t``."""
+        if self._room():
+            self._flushes.setdefault(self._line_of(addr), []).append(t)
+
+    def fence(self, t: int) -> None:
+        """A persistence fence completed at ``t``."""
+        if self._room():
+            self._fences.append(t)
+
+    def lazy_absorb(self, addr: int, t: int) -> None:
+        """The Lazy cache absorbed the block of ``addr`` (dirty) at ``t``."""
+        if self._room():
+            self._lazy.append((t, self._block_of(addr), 1))
+
+    def lazy_writeback(self, addr: int, t: int) -> None:
+        """The block of ``addr`` was written through to media at ``t``."""
+        if self._room():
+            self._lazy.append((t, self._block_of(addr), -1))
+
+    # -- replay ------------------------------------------------------------
+
+    def _lazy_dirty_at(self, cut_ps: int) -> set:
+        """Blocks whose newest copy sits dirty in the Lazy cache at the
+        cut (last absorb <= cut with no later writeback <= cut)."""
+        state: Dict[int, int] = {}
+        for t, block, kind in sorted(self._lazy):
+            if t > cut_ps:
+                break
+            state[block] = kind
+        return {block for block, kind in state.items() if kind == 1}
+
+    def _cache_durable(self, line: int, ack_ps: int, cut_ps: int) -> str:
+        """``"durable"`` or the loss reason for a cache-domain ack."""
+        flushes = sorted(self._flushes.get(line, ()))
+        # earliest flush at/after the ack that lands before the cut
+        index = bisect_right(flushes, cut_ps) - 1
+        candidates = [f for f in flushes[:index + 1] if f >= ack_ps]
+        if not candidates:
+            return "unflushed"
+        first_flush = candidates[0]
+        fences = sorted(self._fences)
+        index = bisect_right(fences, cut_ps) - 1
+        if any(q >= first_flush for q in fences[:index + 1]):
+            return "durable"
+        return "unfenced"
+
+    def report(self, cut_ps: int) -> PersistenceReport:
+        """Audit the history against a power cut at ``cut_ps``.
+
+        For every line, only the *newest* acknowledged write before the
+        cut is judged (earlier versions are superseded — losing them is
+        not observable).  Lines are lost when that write's domain did
+        not reach the durable image by the cut.
+        """
+        report = PersistenceReport(cut_ps=cut_ps, saturated=self.saturated)
+        lazy_dirty = self._lazy_dirty_at(cut_ps)
+        for line in sorted(self._acks):
+            acked = [(t, d) for t, d in self._acks[line] if t <= cut_ps]
+            if not acked:
+                continue
+            ack_ps, domain = max(acked)
+            report.acked_lines += 1
+            report.by_domain[domain] = report.by_domain.get(domain, 0) + 1
+            reason = "durable"
+            if domain == "wpq":
+                # ADR drains the WPQ; the only way to lose a WPQ-accepted
+                # write is the Lazy cache holding the block's newest data.
+                if self._block_of(line) in lazy_dirty:
+                    reason = "lazy_dirty"
+            elif domain == "cache":
+                reason = self._cache_durable(line, ack_ps, cut_ps)
+            elif domain == "lazy":
+                if self._block_of(line) in lazy_dirty:
+                    reason = "not_written_back"
+                else:
+                    # block was written back (or never absorbed) by cut
+                    wrote_back = any(
+                        t >= ack_ps and t <= cut_ps and kind == -1
+                        and block == self._block_of(line)
+                        for t, block, kind in self._lazy)
+                    reason = "durable" if wrote_back else "not_written_back"
+            if reason == "durable":
+                report.durable_lines += 1
+            else:
+                report.lost.append({"addr": line, "ack_ps": ack_ps,
+                                    "domain": domain, "reason": reason})
+        return report

@@ -1,0 +1,280 @@
+"""Fault plans: schema'd, deterministic fault schedules.
+
+A :class:`FaultPlan` is a document (schema ``repro.faultplan/1``, the
+same conventions as run manifests and bench documents) listing
+:class:`FaultSpec` entries.  Each spec names a fault *kind*, a trigger
+(an absolute simulated time in picoseconds, a request ordinal, or
+neither — active from time zero), an optional episode duration, and
+kind-specific parameters.  Plans are plain data: they round-trip
+through JSON byte-for-byte and carry a seed so randomized placement
+(:func:`random_plan`) is reproducible from one integer.
+
+Fault kinds
+-----------
+
+``power_cut``
+    Power fails at the trigger point.  The ADR machinery drains the iMC
+    WPQ; everything above it is lost.  The simulation keeps running (a
+    fault run is a what-if replay); the
+    :class:`~repro.faults.persistence.PersistenceChecker` audits the
+    write history against the cut time.
+``media_ue``
+    The 3D-XPoint cells in ``[addr_lo, addr_hi)`` (media addresses) go
+    uncorrectable from the trigger onward.  Reads touching the region
+    pay ``extra_ps`` of retry/ECC latency and are counted.
+``media_slow``
+    A transient media-latency episode: every media access during
+    ``[trigger, trigger + duration_ps)`` is stretched by ``factor`` and
+    padded with ``extra_ps`` (thermal throttling, refresh storms).
+    Wear-leveling migrations in the window stretch the same way.
+``link_degrade``
+    A stuck/slow DDR-T link episode on ``channel`` (``None`` = every
+    channel): request/grant hops and data beats during the window are
+    stretched by ``factor`` plus ``extra_ps``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import FaultPlanError
+from repro.common.rng import make_rng
+
+#: fault-plan document version (bump on breaking key changes)
+FAULTPLAN_SCHEMA = "repro.faultplan/1"
+
+#: fault kinds understood by the injector
+KINDS = ("power_cut", "media_ue", "media_slow", "link_degrade")
+
+#: kinds that describe an episode/region rather than a point event
+_EPISODE_KINDS = ("media_ue", "media_slow", "link_degrade")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Exactly one trigger applies: ``at_ps`` (absolute simulated time) or
+    ``at_request`` (fires when the Nth memory request is issued).
+    Episode kinds may omit both, meaning "active from time zero".
+    ``duration_ps == 0`` means the episode never ends once triggered.
+    """
+
+    kind: str
+    at_ps: Optional[int] = None
+    at_request: Optional[int] = None
+    duration_ps: int = 0
+    #: media_ue: affected media-address region [addr_lo, addr_hi)
+    addr_lo: int = 0
+    addr_hi: int = 0
+    #: flat added latency per affected access (UE retry cost, episode pad)
+    extra_ps: int = 0
+    #: service-time multiplier during an episode (1.0 = no stretch)
+    factor: float = 1.0
+    #: link_degrade: affected channel index (None = all channels)
+    channel: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        problems = self.problems()
+        if problems:
+            raise FaultPlanError(
+                f"invalid {self.kind!r} fault spec: {'; '.join(problems)}")
+
+    def problems(self) -> List[str]:
+        """Validation messages (empty when the spec is well-formed)."""
+        out: List[str] = []
+        if self.kind not in KINDS:
+            out.append(f"unknown kind {self.kind!r}; expected one of {KINDS}")
+            return out
+        if self.at_ps is not None and self.at_request is not None:
+            out.append("at_ps and at_request are mutually exclusive")
+        if self.at_ps is not None and self.at_ps < 0:
+            out.append(f"at_ps must be >= 0, got {self.at_ps}")
+        if self.at_request is not None and self.at_request < 1:
+            out.append(f"at_request must be >= 1, got {self.at_request}")
+        if self.duration_ps < 0:
+            out.append(f"duration_ps must be >= 0, got {self.duration_ps}")
+        if self.extra_ps < 0:
+            out.append(f"extra_ps must be >= 0, got {self.extra_ps}")
+        if self.factor <= 0:
+            out.append(f"factor must be > 0, got {self.factor}")
+        if self.kind == "power_cut":
+            if self.at_ps is None and self.at_request is None:
+                out.append("power_cut needs at_ps or at_request")
+            if self.duration_ps:
+                out.append("power_cut takes no duration_ps")
+        if self.kind == "media_ue" and self.addr_hi <= self.addr_lo:
+            out.append(
+                f"media_ue needs addr_hi > addr_lo, got "
+                f"[{self.addr_lo}, {self.addr_hi})")
+        if self.kind in ("media_slow", "link_degrade") \
+                and self.factor == 1.0 and self.extra_ps == 0:
+            out.append(f"{self.kind} with factor 1.0 and extra_ps 0 "
+                       "injects nothing")
+        if self.channel is not None and self.kind != "link_degrade":
+            out.append(f"channel applies only to link_degrade, "
+                       f"not {self.kind}")
+        if self.channel is not None and self.channel < 0:
+            out.append(f"channel must be >= 0, got {self.channel}")
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe plain-dict form (all fields, stable keys)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "FaultSpec":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C401
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault spec key(s): {', '.join(unknown)}")
+        if "kind" not in doc:
+            raise FaultPlanError("fault spec missing 'kind'")
+        return cls(**dict(doc))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seedable schedule of :class:`FaultSpec` entries."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        # normalize lists to tuples so plans hash/compare structurally
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @property
+    def empty(self) -> bool:
+        return not self.specs
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": FAULTPLAN_SCHEMA,
+            "seed": self.seed,
+            "description": self.description,
+            "faults": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "FaultPlan":
+        problems = validate_plan(doc)
+        if problems:
+            raise FaultPlanError(
+                f"invalid fault plan: {'; '.join(problems)}")
+        specs = tuple(FaultSpec.from_dict(entry)
+                      for entry in doc.get("faults", ()))
+        return cls(specs=specs, seed=int(doc.get("seed", 0)),
+                   description=str(doc.get("description", "")))
+
+
+def validate_plan(doc: Mapping[str, Any]) -> List[str]:
+    """Structural check of a plan document; empty list when valid."""
+    problems: List[str] = []
+    if not isinstance(doc, Mapping):
+        return [f"plan must be a mapping, got {type(doc).__name__}"]
+    if doc.get("schema") != FAULTPLAN_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected "
+                        f"{FAULTPLAN_SCHEMA!r}")
+    seed = doc.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        problems.append(f"seed must be an integer, got {seed!r}")
+    faults = doc.get("faults")
+    if faults is None:
+        problems.append("missing key 'faults'")
+        return problems
+    if not isinstance(faults, Sequence) or isinstance(faults, (str, bytes)):
+        problems.append("'faults' must be a list of fault specs")
+        return problems
+    for index, entry in enumerate(faults):
+        if not isinstance(entry, Mapping):
+            problems.append(f"faults[{index}] is not a mapping")
+            continue
+        try:
+            spec = FaultSpec.from_dict(entry)
+        except (FaultPlanError, TypeError, ValueError) as exc:
+            problems.append(f"faults[{index}]: {exc}")
+            continue
+        for problem in spec.problems():
+            problems.append(f"faults[{index}]: {problem}")
+    return problems
+
+
+def load_plan(path: str) -> FaultPlan:
+    """Read and validate a plan document from a JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise FaultPlanError(f"cannot read fault plan {path}: {exc}") from exc
+    return FaultPlan.from_dict(doc)
+
+
+def save_plan(plan: FaultPlan, path: str) -> None:
+    """Write a plan document as canonical indented JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(plan.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def power_cut_plan(at_ps: Optional[int] = None,
+                   at_request: Optional[int] = None,
+                   seed: int = 0) -> FaultPlan:
+    """Single power-cut plan (the most common checker scenario)."""
+    return FaultPlan(
+        specs=(FaultSpec(kind="power_cut", at_ps=at_ps,
+                         at_request=at_request),),
+        seed=seed,
+        description="single power-failure event",
+    )
+
+
+def random_plan(seed: int, horizon_ps: int = 1_000_000_000,
+                requests: int = 10_000, nfaults: int = 3,
+                media_bytes: int = 4 * 1024 * 1024 * 1024,
+                nchannels: int = 1) -> FaultPlan:
+    """A reproducible randomized plan for stress runs.
+
+    All placement is drawn from one seeded stream
+    (:func:`repro.common.rng.make_rng` with purpose ``fault-plan``), so
+    the same seed always yields byte-identical plans.  Exactly one
+    power cut is placed (in the middle 80% of the request budget); the
+    remaining faults are episodes.
+    """
+    rng = make_rng(seed, "fault-plan")
+    specs: List[FaultSpec] = [
+        FaultSpec(kind="power_cut",
+                  at_request=rng.randint(max(1, requests // 10),
+                                         max(2, requests * 9 // 10))),
+    ]
+    episode_kinds = ("media_ue", "media_slow", "link_degrade")
+    for _ in range(max(0, nfaults - 1)):
+        kind = episode_kinds[rng.randrange(len(episode_kinds))]
+        start = rng.randint(0, max(1, horizon_ps // 2))
+        duration = rng.randint(horizon_ps // 100 + 1, horizon_ps // 10 + 1)
+        if kind == "media_ue":
+            lo = rng.randrange(0, media_bytes, 256)
+            hi = min(media_bytes, lo + rng.randint(1, 64) * 4096)
+            specs.append(FaultSpec(kind=kind, at_ps=start, addr_lo=lo,
+                                   addr_hi=hi,
+                                   extra_ps=rng.randint(1, 50) * 100_000))
+        elif kind == "media_slow":
+            specs.append(FaultSpec(kind=kind, at_ps=start,
+                                   duration_ps=duration,
+                                   factor=1.0 + rng.randint(1, 40) / 10.0))
+        else:
+            specs.append(FaultSpec(
+                kind=kind, at_ps=start, duration_ps=duration,
+                factor=1.0 + rng.randint(1, 20) / 10.0,
+                channel=(rng.randrange(nchannels)
+                         if nchannels > 1 and rng.random() < 0.5 else None)))
+    return FaultPlan(specs=tuple(specs), seed=seed,
+                     description=f"random_plan(seed={seed})")

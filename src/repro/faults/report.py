@@ -1,0 +1,94 @@
+"""Fault-run reports: one document per injected run.
+
+A fault report (schema ``repro.faultreport/1``) bundles everything a
+fault run produced: the plan that drove it, the injector's counters,
+and — when the plan contained a power cut that actually triggered — the
+persistence audit.  The experiment runner attaches these to
+:class:`~repro.experiments.common.ExperimentResult` objects and the
+``repro-faults`` CLI writes them with ``--json``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from repro.faults.injector import FaultInjector
+from repro.faults.persistence import validate_persistence
+
+#: fault-report document version (bump on breaking key changes)
+FAULTREPORT_SCHEMA = "repro.faultreport/1"
+
+
+def fault_report(injector: FaultInjector) -> Dict[str, Any]:
+    """Build the report document for a finished fault run.
+
+    The ``persistence`` key is present only when a power cut triggered
+    *and* a checker was attached — a plan whose ``at_request`` ordinal
+    the workload never reached produces no audit.
+    """
+    doc: Dict[str, Any] = {
+        "schema": FAULTREPORT_SCHEMA,
+        "plan": injector.plan.to_dict(),
+        "summary": injector.summary(),
+    }
+    if injector.cut_ps is not None and injector.checker is not None:
+        doc["persistence"] = injector.checker.report(injector.cut_ps).as_dict()
+    return doc
+
+
+def validate_fault_report(doc: Mapping[str, Any]) -> List[str]:
+    """Structural check of a fault report; empty list when valid."""
+    problems: List[str] = []
+    if not isinstance(doc, Mapping):
+        return [f"report must be a mapping, got {type(doc).__name__}"]
+    if doc.get("schema") != FAULTREPORT_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected "
+                        f"{FAULTREPORT_SCHEMA!r}")
+    for key in ("plan", "summary"):
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+    summary = doc.get("summary")
+    if isinstance(summary, Mapping):
+        for key in ("plan_faults", "requests", "counters"):
+            if key not in summary:
+                problems.append(f"summary missing {key!r}")
+    elif summary is not None:
+        problems.append("'summary' must be a mapping")
+    if "persistence" in doc:
+        sub = doc["persistence"]
+        if isinstance(sub, Mapping):
+            problems.extend(f"persistence: {p}"
+                            for p in validate_persistence(sub))
+        else:
+            problems.append("'persistence' must be a mapping")
+    return problems
+
+
+def render_fault_report(doc: Mapping[str, Any]) -> str:
+    """Human-readable one-screen rendering of a fault report."""
+    summary = doc.get("summary", {})
+    counters = summary.get("counters", {})
+    out = ["== fault run =="]
+    plan = doc.get("plan", {})
+    desc = plan.get("description") or f"{len(plan.get('faults', []))} fault(s)"
+    out.append(f"plan:        {desc} (seed {plan.get('seed', 0)})")
+    out.append(f"requests:    {summary.get('requests', 0)}")
+    out.append(f"sim horizon: {summary.get('horizon_ps', 0)} ps")
+    cut = summary.get("power_cut_ps")
+    out.append(f"power cut:   {'t=%d ps' % cut if cut is not None else 'none'}")
+    hits = ", ".join(f"{name}={value}" for name, value in sorted(
+        counters.items()) if value)
+    out.append(f"injected:    {hits or 'nothing'}")
+    persistence = doc.get("persistence")
+    if persistence:
+        out.append("")
+        out.append(f"acknowledged lines: {persistence.get('acked_lines', 0)}")
+        out.append(f"durable lines:      {persistence.get('durable_lines', 0)}")
+        out.append(f"LOST acknowledged:  {persistence.get('lost_count', 0)}")
+        for entry in persistence.get("lost", [])[:10]:
+            out.append(f"  0x{entry['addr']:x} acked t={entry['ack_ps']} "
+                       f"via {entry['domain']} ({entry['reason']})")
+        extra = persistence.get("lost_count", 0) - 10
+        if extra > 0:
+            out.append(f"  ... and {extra} more")
+    return "\n".join(out)

@@ -58,7 +58,9 @@ class WearLeveler:
         stats: Optional[StatsRegistry] = None,
         track_line_wear: bool = False,
         flight=None,
+        faults=None,
     ) -> None:
+        from repro.faults.injector import NULL_FAULTS
         from repro.flight.recorder import NULL_FLIGHT
         self.config = config
         self.capacity_bytes = capacity_bytes
@@ -66,6 +68,7 @@ class WearLeveler:
         self.stats = stats or StatsRegistry()
         self.track_line_wear = track_line_wear
         self.flight = flight if flight is not None else NULL_FLIGHT
+        self.faults = faults if faults is not None else NULL_FAULTS
 
         self._write_counts: Dict[int, int] = {}
         self.migration_counts: Dict[int, int] = {}  # block -> migrations
@@ -128,7 +131,12 @@ class WearLeveler:
             self._write_counts[block] = 0
             if self.nblocks > 1:
                 self._remap[block] = self._remap.get(block, 0) + 1
-            end = ready + cfg.migration_ps
+            migration_ps = cfg.migration_ps
+            fa = self.faults
+            if fa.enabled:
+                # media-latency episodes stretch the 64KB block copy too
+                migration_ps += fa.migration_extra_ps(ready, cfg.migration_ps)
+            end = ready + migration_ps
             self._blocked_until[block] = end
             self._migrations.add()
             self.migration_counts[block] = self.migration_counts.get(block, 0) + 1

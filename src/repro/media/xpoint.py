@@ -43,12 +43,14 @@ class XPointMedia:
     """Banked 3D-XPoint media with 256B access units."""
 
     def __init__(self, config: XPointConfig, stats: StatsRegistry = None,
-                 flight=None) -> None:
+                 flight=None, faults=None) -> None:
+        from repro.faults.injector import NULL_FAULTS
         from repro.flight.recorder import NULL_FLIGHT
         self.config = config
         self.banks = BankedServer(config.npartitions)
         self.stats = stats or StatsRegistry()
         self.flight = flight if flight is not None else NULL_FLIGHT
+        self.faults = faults if faults is not None else NULL_FAULTS
         self._reads = self.stats.counter("media.reads")
         self._writes = self.stats.counter("media.writes")
         self._bytes_read = self.stats.counter("media.bytes_read")
@@ -62,6 +64,11 @@ class XPointMedia:
         cfg = self.config
         media_addr = align_down(media_addr % cfg.capacity_bytes, cfg.granularity)
         service = cfg.write_ps if is_write else cfg.read_ps
+        fa = self.faults
+        if fa.enabled:
+            # latency-spike episodes and UE retry/ECC cost on reads in an
+            # uncorrectable region
+            service += fa.media_extra_ps(media_addr, is_write, now, service)
         if is_write:
             self._writes.add()
             self._bytes_written.add(cfg.granularity)

@@ -38,6 +38,7 @@ from repro.baselines.pmep import PMEPModel
 from repro.baselines.quartz import QuartzModel
 from repro.baselines.slow_dram import dramsim2_ddr3, ramulator_ddr4, ramulator_pcm
 from repro.common.errors import UnknownTargetError
+from repro.faults.injector import current as current_faults
 from repro.flight.recorder import current as current_flight
 from repro.instrument import NULL_BUS, InstrumentBus, announce
 from repro.reference import OptaneReference
@@ -103,6 +104,16 @@ def build(name: str, **overrides: Any):
     if telemetry.enabled and isinstance(system, TargetSystem):
         telemetry.attach(system)
         system.telemetry = telemetry
+    faults = current_faults()
+    if faults.enabled and not faults.published and not faults.plan.empty:
+        # Publish the injection counters onto the first instrumented
+        # system only: merged collection snapshots sum per path across
+        # systems, so a second registration would double-count faults.
+        # Empty plans publish nothing — their runs must stay
+        # bit-identical to NULL_FAULTS runs (the zero-cost contract).
+        bus = getattr(system, "instrument", None)
+        if isinstance(bus, InstrumentBus):
+            faults.publish(bus)
     return system
 
 
@@ -187,18 +198,21 @@ def _build_vans(config: Optional[VansConfig] = None,
                 track_line_wear: bool = False,
                 instrument: bool = True,
                 flight=None,
+                faults=None,
                 **config_overrides: Any) -> VansSystem:
     cfg = derive_vans_config(config, **config_overrides)
     return VansSystem(cfg, track_line_wear=track_line_wear,
                       instrument=_bus(instrument),
-                      flight=flight if flight is not None else current_flight())
+                      flight=flight if flight is not None else current_flight(),
+                      faults=faults if faults is not None else current_faults())
 
 
-def _build_memory_mode(instrument: bool = True, flight=None,
+def _build_memory_mode(instrument: bool = True, flight=None, faults=None,
                        **kwargs: Any) -> MemoryModeSystem:
     return MemoryModeSystem(
         instrument=_bus(instrument),
-        flight=flight if flight is not None else current_flight(), **kwargs)
+        flight=flight if flight is not None else current_flight(),
+        faults=faults if faults is not None else current_faults(), **kwargs)
 
 
 def _passthrough(builder: Callable[..., TargetSystem]):
@@ -212,6 +226,9 @@ def _passthrough(builder: Callable[..., TargetSystem]):
             # no internal stations, but submit() still records op-level
             # begin/complete so baselines appear in flight reports
             system.flight = flight
+        faults = current_faults()
+        if faults.enabled:
+            system.faults = faults
         return system
     return _build
 

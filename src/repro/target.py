@@ -12,6 +12,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.engine.request import CACHE_LINE, Op, Request
+from repro.faults.injector import NULL_FAULTS
 from repro.flight.recorder import NULL_FLIGHT
 from repro.telemetry.sampler import NULL_TELEMETRY
 
@@ -29,6 +30,10 @@ class TargetSystem(ABC):
     #: sim-time telemetry sampler (instance-side when a telemetry session
     #: is active; the class default is the zero-cost no-op)
     telemetry = NULL_TELEMETRY
+
+    #: fault injector (instance-side when a faults session is active;
+    #: the class default is the zero-cost no-op)
+    faults = NULL_FAULTS
 
     @abstractmethod
     def read(self, addr: int, now: int) -> int:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import fnmatch
 import os
 import time
+import traceback
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.experiments.common import Scale
@@ -88,6 +89,11 @@ def run_suite(suite: str, scale: Scale = Scale.SMOKE,
 
     Experiments run serially (perf numbers from a loaded parallel
     machine would gate on scheduler noise, not code).
+
+    One raising experiment does not lose the whole run: its entry keeps
+    the required numeric keys (zeroed) plus an ``"error"`` traceback,
+    and the document's ``"completed"`` flag flips to False so callers
+    can persist the partial artifact and exit distinctly.
     """
     from repro.experiments.runner import DEFAULT_SEED, run_experiment
     base_seed = DEFAULT_SEED if seed is None else seed
@@ -95,9 +101,21 @@ def run_suite(suite: str, scale: Scale = Scale.SMOKE,
     experiments: Dict[str, object] = {}
     total_wall = 0.0
     total_requests = 0
+    completed = True
     for exp_id in ids:
         start = time.time()
-        results = run_experiment(exp_id, scale, base_seed)
+        try:
+            results = run_experiment(exp_id, scale, base_seed)
+        except Exception:
+            completed = False
+            experiments[exp_id] = {
+                "wall_s": round(time.time() - start, 4),
+                "requests": 0,
+                "requests_per_s": 0.0,
+                "metrics": {},
+                "error": traceback.format_exc(),
+            }
+            continue
         wall_s = time.time() - start
         requests = _count_requests(results[0].instrumentation) \
             if results else 0
@@ -122,6 +140,7 @@ def run_suite(suite: str, scale: Scale = Scale.SMOKE,
         "suite": suite,
         "scale": scale.value,
         "seed": base_seed,
+        "completed": completed,
         "manifest": run_manifest(
             seed=base_seed,
             config=dict(config or {}, suite=suite, scale=scale.value)),
@@ -146,6 +165,11 @@ def validate_bench(doc: Mapping[str, object]) -> List[str]:
     for key in ("suite", "scale", "manifest", "experiments", "totals"):
         if key not in doc:
             problems.append(f"missing key {key!r}")
+    # "completed" is optional (documents written before partial-run
+    # support lack it and stay valid baselines) but must be a bool
+    # when present.
+    if "completed" in doc and not isinstance(doc["completed"], bool):
+        problems.append("'completed' is not a bool")
     manifest = doc.get("manifest")
     if isinstance(manifest, Mapping) and \
             manifest.get("schema") != MANIFEST_SCHEMA:
@@ -222,6 +246,9 @@ def diff_bench(old: Mapping[str, object], new: Mapping[str, object]
     new_exps = new.get("experiments", {})
     for exp_id in sorted(set(old_exps) & set(new_exps)):
         old_entry, new_entry = old_exps[exp_id], new_exps[exp_id]
+        # a crashed experiment's zeroed entry is not a regression signal
+        if "error" in old_entry or "error" in new_entry:
+            continue
         old_metrics = old_entry.get("metrics", {})
         new_metrics = new_entry.get("metrics", {})
         for key in sorted(set(old_metrics) & set(new_metrics)):

@@ -16,7 +16,9 @@ and a full run manifest (git SHA, config hash, seeds, environment).
 The fresh run is diffed against the latest prior ``BENCH_*.json`` in the
 output directory (or ``--baseline``).  Exit codes: ``0`` ok / no
 baseline, ``2`` usage error, ``3`` the gate found regressions beyond
-threshold.
+threshold, ``4`` one or more experiments crashed (the partial document
+is still written, with ``"completed": false``, so a long suite never
+loses its finished measurements to one bad experiment).
 """
 
 from __future__ import annotations
@@ -42,6 +44,7 @@ from repro.telemetry.bench import (
 EXIT_OK = 0
 EXIT_USAGE = 2
 EXIT_REGRESSION = 3
+EXIT_PARTIAL = 4
 
 
 def _load(path: str) -> dict:
@@ -133,6 +136,19 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"{totals['requests']} requests in {totals['wall_s']:.1f}s "
           f"({totals['requests_per_s']:.0f} req/s, "
           f"peak RSS {totals['peak_rss_kb']} KiB)")
+
+    if not doc.get("completed", True):
+        failed = sorted(exp_id for exp_id, entry
+                        in doc["experiments"].items() if "error" in entry)
+        print(f"\nPARTIAL RUN: {len(failed)} experiment(s) crashed: "
+              f"{', '.join(failed)}", file=sys.stderr)
+        for exp_id in failed:
+            last = str(doc["experiments"][exp_id]["error"]) \
+                .strip().splitlines()[-1]
+            print(f"  {exp_id}: {last}", file=sys.stderr)
+        print("partial document written; skipping regression gate",
+              file=sys.stderr)
+        return EXIT_PARTIAL
 
     if baseline_path is None:
         print("no prior baseline found; nothing to diff")

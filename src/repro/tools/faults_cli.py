@@ -1,0 +1,227 @@
+"""``repro-faults``: drive a target under a fault plan, audit persistence.
+
+Usage::
+
+    repro-faults --power-cut-at-request 2000 --target vans-lazy
+    repro-faults --plan plan.json --json report.json
+    repro-faults --power-cut-at-ps 200000000 --fail-on-lost   # CI gate
+    repro-faults --example > plan.json                        # starter plan
+    repro-faults --check plan.json                            # validate plan
+    repro-faults --check-report report.json                   # validate report
+
+Builds a registry target under an active fault session, drives a
+deterministic write/fence/read loop against it, and prints the fault-run
+report (schema ``repro.faultreport/1``).  When the plan carries a power
+cut, the report includes the ADR persistence audit: every write the
+program was *told* is durable (WPQ-accepted or fenced) that would not
+survive the cut is listed as lost.
+
+The workload is a closed loop over a small set of hot cache lines —
+enough writes to exercise wear-leveling migrations, periodic fences so
+the persistence domains differ between targets (``vans`` fences drain
+to media; ``vans-lazy`` leaves dirty lines in the volatile cache).
+
+Exit codes: ``0`` ok, ``2`` usage error (bad plan / unknown target),
+``3`` the persistence audit found lost acknowledged writes and
+``--fail-on-lost`` was given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import List, Optional
+
+from repro import registry
+from repro.common.errors import FaultPlanError, UnknownTargetError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    PersistenceChecker,
+    fault_report,
+    load_plan,
+    power_cut_plan,
+    random_plan,
+    render_fault_report,
+    session,
+    validate_fault_report,
+    validate_plan,
+)
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_LOST = 3
+
+
+def _drive(system, writes: int, hot_lines: int, stride: int,
+           fence_every: int, read_every: int) -> int:
+    """Deterministic closed-loop workload; returns the final sim time."""
+    now = 0
+    for i in range(writes):
+        addr = (i % hot_lines) * stride
+        now = system.write(addr, now)
+        if fence_every and (i + 1) % fence_every == 0:
+            now = system.fence(now)
+        if read_every and (i + 1) % read_every == 0:
+            now = system.read(addr, now)
+    return now
+
+
+def _resolve_plan(args) -> FaultPlan:
+    """Plan from --plan / --power-cut-* / --random (validated)."""
+    if args.plan:
+        plan = load_plan(args.plan)
+    elif args.power_cut_at_ps is not None \
+            or args.power_cut_at_request is not None:
+        plan = power_cut_plan(at_ps=args.power_cut_at_ps,
+                              at_request=args.power_cut_at_request)
+    elif args.random is not None:
+        plan = random_plan(args.random, requests=args.writes)
+    else:
+        raise FaultPlanError(
+            "no fault plan: give --plan, --power-cut-at-ps, "
+            "--power-cut-at-request, or --random")
+    if args.seed is not None:
+        plan = dataclasses.replace(plan, seed=args.seed)
+    return plan
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-faults",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    src = parser.add_argument_group("fault plan")
+    src.add_argument("--plan", metavar="PATH",
+                     help="JSON fault plan (schema repro.faultplan/1)")
+    src.add_argument("--power-cut-at-ps", type=int, metavar="PS",
+                     help="single power cut at this simulated time")
+    src.add_argument("--power-cut-at-request", type=int, metavar="N",
+                     help="single power cut after the Nth request")
+    src.add_argument("--random", type=int, metavar="SEED",
+                     help="generate a reproducible random plan")
+    src.add_argument("--seed", type=int, default=None,
+                     help="override the plan's seed field")
+    wl = parser.add_argument_group("workload")
+    wl.add_argument("--target", default="vans",
+                    help="registry target to drive (default: %(default)s)")
+    wl.add_argument("--writes", type=int, default=4000,
+                    help="nt-stores to issue (default: %(default)s)")
+    wl.add_argument("--hot-lines", type=int, default=8,
+                    help="distinct cache lines written "
+                         "(default: %(default)s)")
+    wl.add_argument("--stride", type=int, default=64, metavar="BYTES",
+                    help="address stride between hot lines "
+                         "(default: %(default)s)")
+    wl.add_argument("--fence-every", type=int, default=64, metavar="N",
+                    help="fence after every N writes; 0 = never "
+                         "(default: %(default)s)")
+    wl.add_argument("--read-every", type=int, default=16, metavar="N",
+                    help="read back after every N writes; 0 = never "
+                         "(default: %(default)s)")
+    wl.add_argument("--migrate-threshold", type=int, default=None,
+                    help="wear-leveler migration threshold override "
+                         "(VANS-family targets only)")
+    out = parser.add_argument_group("output")
+    out.add_argument("--json", metavar="PATH", dest="json_path",
+                     help="also write the fault report as JSON")
+    out.add_argument("--fail-on-lost", action="store_true",
+                     help="exit 3 when the persistence audit reports "
+                          "lost acknowledged writes")
+    aux = parser.add_argument_group("auxiliary modes")
+    aux.add_argument("--example", action="store_true",
+                     help="print a starter fault plan and exit")
+    aux.add_argument("--check", metavar="PATH",
+                     help="validate a fault-plan document and exit")
+    aux.add_argument("--check-report", metavar="PATH",
+                     help="validate a fault-report document and exit")
+    aux.add_argument("--list-targets", action="store_true",
+                     help="list drivable registry targets and exit")
+    args = parser.parse_args(argv)
+
+    if args.example:
+        print(json.dumps(random_plan(0, requests=4000).to_dict(),
+                         indent=2, sort_keys=True))
+        return EXIT_OK
+
+    if args.list_targets:
+        for name in registry.target_names(systems_only=True):
+            print(name)
+        return EXIT_OK
+
+    if args.check:
+        try:
+            with open(args.check, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.check}: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        problems = validate_plan(doc)
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check}: valid {doc.get('schema')} document "
+                  f"({len(doc.get('faults', []))} fault(s))")
+        return EXIT_USAGE if problems else EXIT_OK
+
+    if args.check_report:
+        try:
+            with open(args.check_report, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.check_report}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        problems = validate_fault_report(doc)
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check_report}: valid {doc.get('schema')} document")
+        return EXIT_USAGE if problems else EXIT_OK
+
+    try:
+        plan = _resolve_plan(args)
+    except FaultPlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    overrides = {}
+    if args.migrate_threshold is not None:
+        overrides["migrate_threshold"] = args.migrate_threshold
+    injector = FaultInjector(plan, checker=PersistenceChecker())
+    try:
+        with session(injector):
+            system = registry.build(args.target, **overrides)
+            horizon = _drive(system, args.writes, args.hot_lines,
+                             args.stride, args.fence_every, args.read_every)
+    except UnknownTargetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except TypeError as exc:
+        print(f"error: target {args.target!r} rejected overrides: {exc}",
+              file=sys.stderr)
+        return EXIT_USAGE
+
+    report = fault_report(injector)
+    print(f"repro-faults: target={args.target} writes={args.writes} "
+          f"horizon={horizon} ps")
+    print(render_fault_report(report))
+
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_path}")
+
+    lost = report.get("persistence", {}).get("lost", [])
+    if args.fail_on_lost and lost:
+        print(f"FAIL: {len(lost)} acknowledged write(s) lost at power cut",
+              file=sys.stderr)
+        return EXIT_LOST
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,7 +41,10 @@ class DdrtChannel:
         data_ps: int = 6 * NS,      # one 64B data beat group
         stats: Optional[StatsRegistry] = None,
         flight=None,
+        faults=None,
+        channel: int = 0,
     ) -> None:
+        from repro.faults.injector import NULL_FAULTS
         from repro.flight.recorder import NULL_FLIGHT
         self.credits = FcfsStation(command_slots)
         self.command_bus = Server()
@@ -50,15 +53,31 @@ class DdrtChannel:
         self.data_ps = data_ps
         self.stats = stats or StatsRegistry()
         self.flight = flight if flight is not None else NULL_FLIGHT
+        self.faults = faults if faults is not None else NULL_FAULTS
+        self.channel = channel
         self._c_reads = self.stats.counter("ddrt.read_txns")
         self._c_writes = self.stats.counter("ddrt.write_txns")
+
+    def _command_ps(self, now: int) -> int:
+        fa = self.faults
+        if fa.enabled:
+            return self.command_ps + fa.link_extra_ps(
+                self.channel, now, self.command_ps)
+        return self.command_ps
+
+    def _data_ps(self, now: int) -> int:
+        fa = self.faults
+        if fa.enabled:
+            return self.data_ps + fa.link_extra_ps(
+                self.channel, now, self.data_ps)
+        return self.data_ps
 
     def send_read_request(self, now: int) -> int:
         """Issue a read transaction; returns when the DIMM has the
         command (credit acquired + command bus transfer)."""
         self._c_reads.add()
         granted = self.credits.admit(now)
-        done = self.command_bus.serve(granted, self.command_ps)
+        done = self.command_bus.serve(granted, self._command_ps(granted))
         if self.flight.active:
             self.flight.span("ddrt.credits", now, granted, phase="wait")
             self.flight.span("ddrt.cmd_bus", granted, done, phase="request")
@@ -66,7 +85,7 @@ class DdrtChannel:
 
     def return_read_data(self, ready: int) -> int:
         """DIMM pushes the 64B payload back; frees the credit."""
-        done = self.data_bus.serve(ready, self.data_ps)
+        done = self.data_bus.serve(ready, self._data_ps(ready))
         if self.flight.active:
             self.flight.span("ddrt.data_bus", ready, done, phase="return")
         self.credits.retire_at(done)
@@ -76,8 +95,8 @@ class DdrtChannel:
         """Issue a 64B write transaction (command + data outbound)."""
         self._c_writes.add()
         granted = self.credits.admit(now)
-        cmd_done = self.command_bus.serve(granted, self.command_ps)
-        data_done = self.data_bus.serve(cmd_done, self.data_ps)
+        cmd_done = self.command_bus.serve(granted, self._command_ps(granted))
+        data_done = self.data_bus.serve(cmd_done, self._data_ps(cmd_done))
         if self.flight.active:
             self.flight.span("ddrt.credits", now, granted, phase="wait")
             self.flight.span("ddrt.cmd_bus", granted, cmd_done, phase="send")

@@ -50,13 +50,15 @@ class NvramDimm:
 
     def __init__(self, config: DimmConfig, stats: Optional[StatsRegistry] = None,
                  track_line_wear: bool = False, instrument=None,
-                 flight=None) -> None:
+                 flight=None, faults=None) -> None:
+        from repro.faults.injector import NULL_FAULTS
         from repro.flight.recorder import NULL_FLIGHT
         from repro.instrument import NULL_BUS
         self.config = config
         self.stats = stats or StatsRegistry()
         self.instrument = instrument if instrument is not None else NULL_BUS
         self.flight = flight if flight is not None else NULL_FLIGHT
+        self.faults = faults if faults is not None else NULL_FAULTS
         t = config.timing
         self.t = t
 
@@ -70,13 +72,14 @@ class NvramDimm:
             capacity_bytes=config.dram_capacity_bytes,
         )
         self.media = XPointMedia(config.media, stats=self.stats,
-                                 flight=self.flight)
+                                 flight=self.flight, faults=self.faults)
         self.wear = WearLeveler(
             config.wear,
             capacity_bytes=config.media.capacity_bytes,
             stats=self.stats,
             track_line_wear=track_line_wear,
             flight=self.flight,
+            faults=self.faults,
         )
         self.lazy = None
         if config.lazy_cache:
@@ -423,9 +426,17 @@ class NvramDimm:
                 done = self.engine.serve(now, self.lazy.config.hit_ps)
                 if self.flight.active:
                     self.flight.span("dimm.lazy", now, done, phase="absorb")
+                fa = self.faults
+                if fa.enabled:
+                    # The block's newest data now lives in Lazy SRAM, not
+                    # media — the persistence checker marks it dirty until
+                    # an eviction writeback lands.
+                    fa.note_lazy_absorb(block, done)
                 for victim in self.lazy.absorb(block, now=done):
                     _, durable = self._ait_write_block(victim, 256, done)
                     done = max(done, durable)
+                    if fa.enabled:
+                        fa.note_lazy_writeback(victim, durable)
                 self._wc_drain_ps = done
                 return done
 

@@ -32,13 +32,15 @@ class IntegratedMemoryController:
 
     def __init__(self, config: VansConfig, stats: Optional[StatsRegistry] = None,
                  track_line_wear: bool = False, instrument=None,
-                 flight=None) -> None:
+                 flight=None, faults=None) -> None:
+        from repro.faults.injector import NULL_FAULTS
         from repro.flight.recorder import NULL_FLIGHT
         from repro.instrument import NULL_BUS
         self.config = config
         self.stats = stats or StatsRegistry()
         self.instrument = instrument if instrument is not None else NULL_BUS
         self.flight = flight if flight is not None else NULL_FLIGHT
+        self.faults = faults if faults is not None else NULL_FAULTS
         self.interleaver = Interleaver(
             config.ndimms, config.interleave_bytes, config.interleaved
         )
@@ -46,7 +48,7 @@ class IntegratedMemoryController:
             NvramDimm(config.dimm, stats=self.stats,
                       track_line_wear=track_line_wear,
                       instrument=self.instrument.scope(f"dimm{i}"),
-                      flight=self.flight)
+                      flight=self.flight, faults=self.faults)
             for i in range(config.ndimms)
         ]
         self.wpqs: List[FcfsStation] = [
@@ -66,8 +68,9 @@ class IntegratedMemoryController:
         self.ddrt = None
         if config.dimm.timing.ddrt_detailed:
             from repro.vans.ddrt import DdrtChannel
-            self.ddrt = [DdrtChannel(stats=self.stats, flight=self.flight)
-                         for _ in range(config.ndimms)]
+            self.ddrt = [DdrtChannel(stats=self.stats, flight=self.flight,
+                                     faults=self.faults, channel=i)
+                         for i in range(config.ndimms)]
         self._c_reads = self.stats.counter("imc.reads")
         self._c_writes = self.stats.counter("imc.writes")
         self._c_fences = self.stats.counter("imc.fences")
@@ -76,6 +79,9 @@ class IntegratedMemoryController:
         """Issue a 64B read; returns the time data reaches the core side."""
         self._c_reads.add()
         t = self.config.dimm.timing
+        fa = self.faults
+        if fa.enabled:
+            fa.on_request(now)
         dimm_idx, local = self.interleaver.map(addr)
         rpq = self.rpqs[dimm_idx]
         start = rpq.admit(now)
@@ -88,11 +94,13 @@ class IntegratedMemoryController:
             ready = self.dimms[dimm_idx].read_line(local, cmd_done)
             done = channel.return_read_data(ready)
         else:
+            hop = t.ddrt_request_ps
+            if fa.enabled:
+                hop += fa.link_extra_ps(dimm_idx, start, t.ddrt_request_ps)
             if fl.active:
-                fl.span("ddrt.link", start, start + t.ddrt_request_ps,
+                fl.span("ddrt.link", start, start + hop,
                         phase="request", channel=dimm_idx)
-            done = self.dimms[dimm_idx].read_line(local,
-                                                  start + t.ddrt_request_ps)
+            done = self.dimms[dimm_idx].read_line(local, start + hop)
         rpq.retire_at(done)
         return done
 
@@ -105,12 +113,19 @@ class IntegratedMemoryController:
         """
         self._c_writes.add()
         t = self.config.dimm.timing
+        fa = self.faults
+        if fa.enabled:
+            fa.on_request(now)
         dimm_idx, local = self.interleaver.map(addr)
         wpq = self.wpqs[dimm_idx]
         accept = wpq.admit(now)
         fl = self.flight
         if fl.active:
             fl.span("imc.wpq", now, accept, phase="wait", channel=dimm_idx)
+        if fa.enabled:
+            # WPQ admission is the ADR persistence point; the checker
+            # audits this acknowledgement against any injected power cut.
+            fa.note_write(addr, now, accept)
         if self.ddrt is not None:
             channel = self.ddrt[dimm_idx]
             xfer_done = channel.send_write(accept)
@@ -118,8 +133,10 @@ class IntegratedMemoryController:
                                                         nbytes)
             channel.complete_write(lsq_admit)
         else:
-            xfer_done = self.write_buses[dimm_idx].serve(accept,
-                                                         t.wpq_xfer_ps)
+            xfer_ps = t.wpq_xfer_ps
+            if fa.enabled:
+                xfer_ps += fa.link_extra_ps(dimm_idx, accept, t.wpq_xfer_ps)
+            xfer_done = self.write_buses[dimm_idx].serve(accept, xfer_ps)
             if fl.active:
                 fl.span("imc.write_bus", accept, xfer_done, phase="drain",
                         channel=dimm_idx)
@@ -139,4 +156,7 @@ class IntegratedMemoryController:
                 fl.span("imc.wpq", now, wpq_done, phase="drain",
                         channel=channel)
             done = max(done, wpq_done, dimm.flush(now))
+        fa = self.faults
+        if fa.enabled:
+            fa.note_fence(done)
         return done

@@ -31,14 +31,18 @@ class MemoryModeSystem(TargetSystem):
         dram_channels: int = 4,
         instrument=None,
         flight=None,
+        faults=None,
     ) -> None:
+        from repro.faults.injector import NULL_FAULTS
         from repro.flight.recorder import NULL_FLIGHT
         from repro.instrument import NULL_BUS
         self.instrument = instrument if instrument is not None else NULL_BUS
         self.flight = flight if flight is not None else NULL_FLIGHT
+        self.faults = faults if faults is not None else NULL_FAULTS
         self.nvram = VansSystem(nvram_config,
                                 instrument=self.instrument.scope("nvram"),
-                                flight=self.flight)
+                                flight=self.flight,
+                                faults=self.faults)
         self.dram = DramDevice(dram_timing, nchannels=dram_channels,
                                capacity_bytes=dram_capacity)
         self.dram_capacity = dram_capacity

@@ -24,16 +24,19 @@ class VansSystem(TargetSystem):
 
     def __init__(self, config: Optional[VansConfig] = None,
                  track_line_wear: bool = False, instrument=None,
-                 flight=None) -> None:
+                 flight=None, faults=None) -> None:
+        from repro.faults.injector import NULL_FAULTS
         from repro.flight.recorder import NULL_FLIGHT
         from repro.instrument import NULL_BUS
         self.config = config or VansConfig()
         self.stats = StatsRegistry()
         self.instrument = instrument if instrument is not None else NULL_BUS
         self.flight = flight if flight is not None else NULL_FLIGHT
+        self.faults = faults if faults is not None else NULL_FAULTS
         self.imc = IntegratedMemoryController(
             self.config, stats=self.stats, track_line_wear=track_line_wear,
             instrument=self.instrument.scope("imc"), flight=self.flight,
+            faults=self.faults,
         )
         self.name = f"vans-{self.config.ndimms}dimm"
         self._hist_read = self.stats.histogram("vans.read_latency_ps")

@@ -1,0 +1,177 @@
+"""Power-failure persistence checker: ADR-domain golden cases."""
+
+from repro import registry
+from repro.faults import (
+    FaultInjector,
+    PersistenceChecker,
+    power_cut_plan,
+    session,
+    validate_persistence,
+)
+from repro.tools.faults_cli import _drive
+
+CUT = 10_000
+
+
+class TestWpqDomain:
+    def test_wpq_ack_is_durable_at_acknowledgement(self):
+        checker = PersistenceChecker()
+        checker.ack(0x100, 1_000, "wpq")
+        report = checker.report(CUT)
+        assert report.acked_lines == 1
+        assert report.durable_lines == 1
+        assert report.lost == []
+
+    def test_ack_after_cut_not_counted(self):
+        checker = PersistenceChecker()
+        checker.ack(0x100, CUT + 1, "wpq")
+        report = checker.report(CUT)
+        assert report.acked_lines == 0
+
+    def test_acked_then_lost_to_lazy_dirty_block(self):
+        # the adversarial Section V-C scenario: the WPQ accepted the
+        # write (program told it's durable) but the Lazy cache holds the
+        # block's newest data at the cut
+        checker = PersistenceChecker()
+        checker.ack(0x100, 1_000, "wpq")
+        checker.lazy_absorb(0x100, 2_000)
+        report = checker.report(CUT)
+        assert report.durable_lines == 0
+        assert report.lost == [{"addr": 0x100, "ack_ps": 1_000,
+                                "domain": "wpq", "reason": "lazy_dirty"}]
+
+    def test_written_back_block_survives(self):
+        checker = PersistenceChecker()
+        checker.ack(0x100, 1_000, "wpq")
+        checker.lazy_absorb(0x100, 2_000)
+        checker.lazy_writeback(0x100, 3_000)
+        assert checker.report(CUT).lost == []
+
+    def test_writeback_after_cut_is_too_late(self):
+        checker = PersistenceChecker()
+        checker.ack(0x100, 1_000, "wpq")
+        checker.lazy_absorb(0x100, 2_000)
+        checker.lazy_writeback(0x100, CUT + 1)
+        assert [e["reason"] for e in checker.report(CUT).lost] == \
+               ["lazy_dirty"]
+
+
+class TestCacheDomain:
+    def test_unflushed_store_is_lost(self):
+        checker = PersistenceChecker()
+        checker.ack(0x40, 1_000, "cache")
+        assert [e["reason"] for e in checker.report(CUT).lost] == \
+               ["unflushed"]
+
+    def test_flush_without_fence_is_lost(self):
+        checker = PersistenceChecker()
+        checker.ack(0x40, 1_000, "cache")
+        checker.flush(0x40, 2_000)
+        assert [e["reason"] for e in checker.report(CUT).lost] == \
+               ["unfenced"]
+
+    def test_fenced_nt_store_pattern_survives(self):
+        # store -> clwb -> sfence, all before the cut: durable
+        checker = PersistenceChecker()
+        checker.ack(0x40, 1_000, "cache")
+        checker.flush(0x40, 2_000)
+        checker.fence(3_000)
+        report = checker.report(CUT)
+        assert report.durable_lines == 1
+        assert report.lost == []
+
+    def test_fence_before_flush_does_not_count(self):
+        checker = PersistenceChecker()
+        checker.fence(500)
+        checker.ack(0x40, 1_000, "cache")
+        checker.flush(0x40, 2_000)
+        assert [e["reason"] for e in checker.report(CUT).lost] == \
+               ["unfenced"]
+
+    def test_flush_before_ack_does_not_count(self):
+        checker = PersistenceChecker()
+        checker.flush(0x40, 500)
+        checker.ack(0x40, 1_000, "cache")
+        checker.fence(2_000)
+        assert [e["reason"] for e in checker.report(CUT).lost] == \
+               ["unflushed"]
+
+
+class TestLazyDomain:
+    def test_absorbed_write_needs_writeback(self):
+        checker = PersistenceChecker()
+        checker.ack(0x200, 1_000, "lazy")
+        checker.lazy_absorb(0x200, 1_000)
+        assert [e["reason"] for e in checker.report(CUT).lost] == \
+               ["not_written_back"]
+
+    def test_writeback_makes_it_durable(self):
+        checker = PersistenceChecker()
+        checker.ack(0x200, 1_000, "lazy")
+        checker.lazy_absorb(0x200, 1_000)
+        checker.lazy_writeback(0x200, 2_000)
+        assert checker.report(CUT).lost == []
+
+
+class TestReplaySemantics:
+    def test_only_newest_ack_per_line_is_judged(self):
+        # early durable version superseded by a later lost one
+        checker = PersistenceChecker()
+        checker.ack(0x80, 1_000, "wpq")
+        checker.ack(0x80, 2_000, "cache")   # newest; never flushed
+        report = checker.report(CUT)
+        assert report.acked_lines == 1
+        assert [e["reason"] for e in report.lost] == ["unflushed"]
+
+    def test_sub_line_addresses_coalesce(self):
+        checker = PersistenceChecker()
+        checker.ack(0x100, 1_000, "wpq")
+        checker.ack(0x13f, 2_000, "wpq")    # same 64B line
+        assert checker.report(CUT).acked_lines == 1
+
+    def test_event_cap_sets_saturated(self):
+        checker = PersistenceChecker(max_events=2)
+        checker.ack(0x0, 1, "wpq")
+        checker.ack(0x40, 2, "wpq")
+        checker.ack(0x80, 3, "wpq")         # dropped
+        report = checker.report(CUT)
+        assert report.saturated is True
+        assert report.acked_lines == 2
+
+    def test_report_document_validates_and_renders(self):
+        checker = PersistenceChecker()
+        checker.ack(0x100, 1_000, "wpq")
+        checker.lazy_absorb(0x100, 2_000)
+        report = checker.report(CUT)
+        assert validate_persistence(report.as_dict()) == []
+        text = report.render()
+        assert "LOST acknowledged:  1" in text
+        assert "lazy_dirty" in text
+
+
+def _audit(target: str) -> "PersistenceReport":
+    """Drive a registry target under a mid-run power cut and audit it."""
+    injector = FaultInjector(power_cut_plan(at_request=300),
+                             checker=PersistenceChecker())
+    with session(injector):
+        system = registry.build(target, migrate_threshold=50)
+        _drive(system, writes=600, hot_lines=8, stride=64,
+               fence_every=64, read_every=16)
+    assert injector.cut_ps is not None
+    return injector.checker.report(injector.cut_ps)
+
+
+class TestEndToEnd:
+    def test_fenced_vans_loses_nothing(self):
+        report = _audit("vans")
+        assert report.acked_lines > 0
+        assert report.lost == []
+
+    def test_vans_lazy_loses_acknowledged_writes(self):
+        # the headline result: the Lazy cache trades tail latency for a
+        # hole in the ADR persistence guarantee — acknowledged writes
+        # sitting dirty in on-DIMM SRAM do not survive the cut
+        report = _audit("vans-lazy")
+        assert report.lost_count >= 1
+        assert all(e["reason"] == "lazy_dirty" for e in report.lost)
+        assert report.durable_lines < report.acked_lines
