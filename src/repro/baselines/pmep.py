@@ -42,6 +42,24 @@ class PMEPModel(TargetSystem):
         self._throttle = Server()
         self._throttle_ps = write_bw_line_ps
         self.name = "pmep"
+        self._rebuild_fast_paths()
+
+    def _rebuild_fast_paths(self) -> None:
+        """Bind uninstrumented read/write when nothing records (the
+        registry re-invokes this after attaching session telemetry)."""
+        if self._uninstrumented():
+            self.read = self._read_fast
+            self.write = self._write_fast
+        else:
+            self.__dict__.pop("read", None)
+            self.__dict__.pop("write", None)
+
+    def _read_fast(self, addr: int, now: int) -> int:
+        return self.dram.access(addr, False, now) + self.read_delay_ps
+
+    def _write_fast(self, addr: int, now: int) -> int:
+        start = self._throttle.serve(now, self._throttle_ps)
+        return self.dram.access(addr, True, start) + self.write_delay_ps
 
     def read(self, addr: int, now: int) -> int:
         """DRAM access plus the injected constant NVRAM delay."""

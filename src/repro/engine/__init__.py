@@ -2,9 +2,13 @@
 
 Two complementary timing facilities live here:
 
-* :class:`~repro.engine.event.Engine` — a classic discrete-event kernel
+* :class:`~repro.engine.event.Engine` — the discrete-event kernel
   (integer-picosecond clock) used by the CPU full-system model and any
-  component that needs callbacks at future times.
+  component that needs callbacks at future times.  Its fast path is a
+  bucketed :class:`~repro.engine.calendar.CalendarQueue` with pooled
+  :class:`~repro.engine.event.Event` objects and precompiled dispatch
+  slots; :class:`~repro.engine.event.LegacyEngine` keeps the seed
+  binary-heap kernel for determinism cross-checks and benchmarking.
 * :mod:`repro.engine.queueing` — FCFS queueing algebra
   (:class:`FcfsStation`, :class:`Server`, :class:`BankedServer`).  The
   paper reports that Optane DIMMs schedule first-come-first-serve
@@ -14,14 +18,18 @@ Two complementary timing facilities live here:
   makes a cycle-resolution model fast enough in pure Python.
 """
 
-from repro.engine.event import Engine, Event
+from repro.engine.calendar import CalendarQueue
+from repro.engine.event import Engine, Event, LegacyEngine
 from repro.engine.queueing import FcfsStation, Server, BankedServer
-from repro.engine.request import Op, Request
+from repro.engine.request import Op, Request, RequestPool
 from repro.engine.stats import Counter, Histogram, LatencySeries, StatsRegistry
 
 __all__ = [
+    "CalendarQueue",
     "Engine",
     "Event",
+    "LegacyEngine",
+    "RequestPool",
     "FcfsStation",
     "Server",
     "BankedServer",

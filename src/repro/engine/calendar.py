@@ -1,0 +1,307 @@
+"""Calendar-queue event scheduler: the kernel's fast-path data structure.
+
+The seed kernel kept every pending event in one global binary heap of
+``Event`` objects, which has two costs that dominate long runs:
+
+* every push/pop pays ``O(log n)`` *Python-level* ``Event.__lt__`` calls
+  (rich comparison is a method call per heap compare);
+* events cancelled via :meth:`Event.cancel` stay in the heap until their
+  timestamp is reached, so timeout-heavy runs grow without bound.
+
+This module replaces the global heap with a bucketed calendar queue
+tuned for the clustered timestamps DDR-T/media timing produces:
+
+* events are binned by quantized timestamp (``time >> shift``); the
+  priority order across bins is kept in a heap of *plain ints* (bucket
+  ids), whose comparisons run entirely in C;
+* events inside one bucket are appended unsorted (``O(1)``) and sorted
+  lazily — once, with :func:`operator.attrgetter` keys — when the bucket
+  becomes the active (minimum) bucket.  Because simulations schedule
+  mostly monotonically, that sort usually runs on an almost-sorted list;
+* same-timestamp events land in the same bucket adjacent to each other,
+  which is what lets the engine batch their dispatch;
+* far-future events (wear migrations, telemetry ticks: bucket id at
+  least ``span`` buckets past the queue head) go to a fallback heap of
+  ``(time, seq, event)`` tuples — int-compared, never ``Event.__lt__`` —
+  and migrate into buckets as the head approaches, so a handful of
+  distant events cannot bloat the bucket table;
+* cancelled events are deleted lazily: a counter tracks them, and when
+  they outnumber the live half of the queue the structure is compacted
+  in place (the active bucket is left alone — its cancelled entries are
+  already being skipped by the consumer).
+
+Ordering contract: :meth:`pop` yields events in exactly the global
+``(time, seq)`` order the seed heap produced — FIFO among equal
+timestamps included — which the property tests in
+``tests/test_kernel_calendar.py`` cross-check against the legacy heap.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heapify, heappop, heappush
+from operator import attrgetter
+from typing import Any, Dict, List, Optional, Tuple
+
+#: sort key for a bucket's events: exact global order
+_ORDER = attrgetter("time", "seq")
+#: insertion key used while a sorted bucket is being consumed.  The new
+#: event's seq is larger than every pending one's, so bisecting on time
+#: alone (rightmost) lands it in exact (time, seq) position.
+_TIME = attrgetter("time")
+
+#: default bucket width exponent: 2**12 ps ~ 4ns buckets, a good match
+#: for DDR-T hop / media port spacings (tens of ns between distinct
+#: completion times, many exactly-equal timestamps within one).
+DEFAULT_SHIFT = 12
+
+#: buckets further than this past the head go to the far-future heap
+DEFAULT_SPAN = 1 << 14
+
+#: don't bother compacting queues with fewer cancelled entries
+COMPACT_MIN_CANCELLED = 32
+
+
+class CalendarQueue:
+    """Bucketed (time, seq)-ordered queue of :class:`Event` objects."""
+
+    __slots__ = ("shift", "span", "_bins", "_heap", "_far",
+                 "_active", "_active_idx", "_active_bucket", "_head",
+                 "_single", "_size", "cancelled")
+
+    def __init__(self, shift: int = DEFAULT_SHIFT,
+                 span: int = DEFAULT_SPAN) -> None:
+        self.shift = shift
+        self.span = span
+        #: bucket id -> unsorted event list (lazily sorted on open)
+        self._bins: Dict[int, List[Any]] = {}
+        #: heap of distinct bucket ids present in ``_bins``
+        self._heap: List[int] = []
+        #: far-future fallback heap of ``(time, seq, event)``
+        self._far: List[Tuple[int, int, Any]] = []
+        #: the sorted bucket currently being consumed (index cursor)
+        self._active: Optional[List[Any]] = None
+        self._active_idx = 0
+        self._active_bucket = -1
+        #: bucket id of the most recently opened bucket (monotonic)
+        self._head = 0
+        #: singleton slot: when exactly one event is pending anywhere it
+        #: parks here, skipping the bin/heap machinery entirely — the
+        #: dependent-chain regime (each completion schedules the next)
+        #: would otherwise pay bucket churn for a queue of length one
+        self._single: Optional[Any] = None
+        #: pending entries, cancelled ones included (lazy deletion)
+        self._size = 0
+        #: cancelled-but-still-queued entries
+        self.cancelled = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+
+    def push(self, event: Any) -> None:
+        """Insert ``event`` (keyed by its ``time``/``seq`` attributes)."""
+        single = self._single
+        if single is not None:
+            # A second pending event arrived: demote the parked
+            # singleton into the bins and insert both normally.
+            self._single = None
+            self._insert_binned(single)
+            self._insert_binned(event)
+            self._size += 1
+            return
+        if not self._size:
+            active = self._active
+            if active is None or self._active_idx >= len(active):
+                # Queue empty (any active bucket fully consumed): park
+                # the sole pending event, no bin/heap churn.
+                self._single = event
+                self._size = 1
+                return
+        self._size += 1
+        self._insert_binned(event)
+
+    def _insert_binned(self, event: Any) -> None:
+        """Insert into the bucket structures (no size bookkeeping)."""
+        bucket = event.time >> self.shift
+        if self._active is not None:
+            if bucket == self._active_bucket:
+                # Scheduled into the bucket being dispatched right now:
+                # bisect only the *pending* slice (lo=cursor).  The
+                # consumed prefix may hold recycled Event objects whose
+                # fields have been reused, so it must never be examined;
+                # the new event cannot be in the past, and its seq
+                # outranks every pending equal-time entry, so rightmost
+                # insertion on time alone gives exact (time, seq) order.
+                insort(self._active, event, key=_TIME, lo=self._active_idx)
+                return
+            if bucket < self._active_bucket:
+                # The active bucket was opened by a peek (e.g. an
+                # ``until``-bounded run) before the clock reached it, and
+                # this event lands in an earlier bucket.  Demote the
+                # active remainder back into the bins so the next open
+                # re-picks the true minimum.  (Unreachable from dispatch
+                # callbacks: there ``time >= now`` pins the bucket at or
+                # past the active one.)
+                self._demote_active()
+        if bucket - self._head >= self.span:
+            heappush(self._far, (event.time, event.seq, event))
+            return
+        entries = self._bins.get(bucket)
+        if entries is None:
+            self._bins[bucket] = [event]
+            heappush(self._heap, bucket)
+        else:
+            entries.append(event)
+
+    def _demote_active(self) -> None:
+        """Return the unconsumed tail of the active bucket to the bins."""
+        entries = self._active[self._active_idx:]
+        bucket = self._active_bucket
+        self._active = None
+        self._active_idx = 0
+        if not entries:
+            return
+        existing = self._bins.get(bucket)
+        if existing is None:
+            self._bins[bucket] = entries
+            heappush(self._heap, bucket)
+        else:  # defensive: push() insorts into the active bucket instead
+            existing.extend(entries)
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+
+    def _open_next(self) -> bool:
+        """Promote the next non-empty bucket to active; False when drained."""
+        single = self._single
+        if single is not None:
+            # The parked singleton is by construction the only pending
+            # event; promote it as a one-entry active bucket.
+            self._single = None
+            bucket = single.time >> self.shift
+            self._active = [single]
+            self._active_idx = 0
+            self._active_bucket = bucket
+            if bucket > self._head:
+                self._head = bucket
+            return True
+        heap = self._heap
+        far = self._far
+        shift = self.shift
+        # Migrate far-future events whose bucket has come within reach of
+        # (or past) the earliest bucketed event.  When the bucket table
+        # is empty the far head seeds it, then the loop keeps migrating
+        # everything sharing that (new) minimum bucket.
+        while far:
+            far_bucket = far[0][0] >> shift
+            if heap and far_bucket > heap[0]:
+                break
+            event = heappop(far)[2]
+            entries = self._bins.get(far_bucket)
+            if entries is None:
+                self._bins[far_bucket] = [event]
+                heappush(heap, far_bucket)
+            else:
+                entries.append(event)
+        if not heap:
+            return False
+        bucket = heappop(heap)
+        entries = self._bins.pop(bucket)
+        if len(entries) > 1:
+            entries.sort(key=_ORDER)
+        self._active = entries
+        self._active_idx = 0
+        self._active_bucket = bucket
+        self._head = bucket
+        return True
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next entry (cancelled ones included)."""
+        single = self._single
+        if single is not None:
+            return single.time
+        while True:
+            entries = self._active
+            if entries is not None:
+                if self._active_idx < len(entries):
+                    return entries[self._active_idx].time
+                self._active = None
+            if not self._open_next():
+                return None
+
+    def pop(self) -> Optional[Any]:
+        """Remove and return the next entry in (time, seq) order.
+
+        Cancelled entries are returned too (the engine skips and
+        recycles them); ``None`` means the queue is empty.
+        """
+        single = self._single
+        if single is not None:
+            self._single = None
+            self._size = 0
+            bucket = single.time >> self.shift
+            if bucket > self._head:
+                self._head = bucket
+            return single
+        while True:
+            entries = self._active
+            if entries is not None:
+                idx = self._active_idx
+                if idx < len(entries):
+                    self._active_idx = idx + 1
+                    self._size -= 1
+                    return entries[idx]
+                self._active = None
+            if not self._open_next():
+                return None
+
+    # ------------------------------------------------------------------
+    # lazy deletion
+    # ------------------------------------------------------------------
+
+    def note_cancel(self) -> None:
+        """Record one cancellation; compact when the dead fraction wins."""
+        self.cancelled += 1
+        if (self.cancelled > COMPACT_MIN_CANCELLED
+                and self.cancelled * 2 > self._size):
+            self.compact()
+
+    def compact(self) -> int:
+        """Drop cancelled entries from the bins and the far heap.
+
+        The active bucket is intentionally left alone: its list may be
+        mid-iteration in the dispatch loop, and its cancelled entries are
+        skipped (and recycled) there anyway.  All containers are mutated
+        in place so dispatch-loop local bindings stay valid.  Returns the
+        number of entries removed.
+        """
+        removed = 0
+        single = self._single
+        if single is not None and single.cancelled:
+            self._single = None
+            removed += 1
+        for entries in self._bins.values():
+            kept = [e for e in entries if not e.cancelled]
+            if len(kept) != len(entries):
+                removed += len(entries) - len(kept)
+                entries[:] = kept
+        far = self._far
+        if far:
+            kept_far = [item for item in far if not item[2].cancelled]
+            if len(kept_far) != len(far):
+                removed += len(far) - len(kept_far)
+                far[:] = kept_far
+                heapify(far)
+        self._size -= removed
+        self.cancelled -= removed
+        if self.cancelled < 0:  # defensive: stale-handle cancels
+            self.cancelled = 0
+        return removed

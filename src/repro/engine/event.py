@@ -1,9 +1,34 @@
 """Discrete-event simulation kernel.
 
-The kernel keeps a heap of ``(time, sequence, callback)`` entries.  The
-sequence number makes event ordering fully deterministic when several
-events share a timestamp (FIFO among equal times), which keeps every
-experiment reproducible.
+Two kernels share one API and one :class:`Event` handle type:
+
+* :class:`Engine` — the fast path.  Pending events live in a bucketed
+  :class:`~repro.engine.calendar.CalendarQueue` (int-compared bucket
+  heap, lazy per-bucket sorting, far-future heap fallback), fired
+  ``Event`` objects are recycled through a free-list pool, cancelled
+  events are compacted away once they outnumber the live queue, and the
+  run loop is selected from precompiled dispatch slots: a tight
+  locals-bound loop with batched same-timestamp dispatch when no
+  instrumentation is attached, and an exact replica of the legacy
+  per-event loop (telemetry/fault ticks after every callback) when a
+  sampler or injector is hooked on.  The slot is re-selected only when
+  ``telemetry``/``faults`` are (de)attached — never per event.
+* :class:`LegacyEngine` — the seed kernel: one global binary heap of
+  ``(time, seq, callback)`` entries.  Kept as the reference for the
+  determinism cross-checks in ``tests/test_kernel_calendar.py`` and as
+  the comparison side of ``repro-bench --suite kernel``.
+
+Both kernels fire callbacks in exactly the same order: ascending time,
+FIFO among equal timestamps (the monotonically increasing sequence
+number breaks ties), which keeps every experiment reproducible and
+makes the two kernels bit-identical in observable behaviour.
+
+Pooled-handle contract: an :class:`Event` returned by ``schedule_at``
+is a live handle until its callback fires or it is cancelled.  After
+that the engine may recycle the object for a later ``schedule_at``;
+calling :meth:`Event.cancel` on a fired handle is a safe no-op, but
+holding a handle past its firing and cancelling it *after* the pool
+reused it would cancel the new occupant — don't keep fired handles.
 """
 
 from __future__ import annotations
@@ -12,12 +37,19 @@ import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
+from repro.engine.calendar import CalendarQueue
+
+#: recycled-Event free-list bound (events beyond this are left to GC)
+EVENT_POOL_CAP = 4096
+
+#: legacy-heap compaction floor (mirrors CalendarQueue's threshold)
+COMPACT_MIN_CANCELLED = 32
 
 
 class Event:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "live", "_engine")
 
     def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -25,30 +57,352 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: True while scheduled and not yet fired/recycled
+        self.live = True
+        #: owning engine (None for free-standing events, e.g. in tests)
+        self._engine: Optional[Any] = None
 
     def cancel(self) -> None:
-        """Prevent the callback from firing (O(1); the heap entry stays)."""
+        """Prevent the callback from firing (O(1); lazy deletion).
+
+        The entry stays queued but is counted: once cancelled entries
+        outnumber live ones the owning engine compacts them away, so
+        timeout-heavy runs no longer grow without bound.  Cancelling an
+        already-fired (or already-cancelled) handle is a no-op.
+        """
+        if self.cancelled or not self.live:
+            return
         self.cancelled = True
+        engine = self._engine
+        if engine is not None:
+            engine._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
 
 class Engine:
-    """Event loop with an integer-picosecond clock."""
+    """Event loop with an integer-picosecond clock (calendar-queue core)."""
+
+    __slots__ = ("_now", "_seq", "_queue", "_processed", "_pool",
+                 "_telemetry", "_faults", "_fast_dispatch")
+
+    def __init__(self, bucket_shift: Optional[int] = None,
+                 far_span: Optional[int] = None) -> None:
+        self._now = 0
+        self._seq = 0
+        kwargs = {}
+        if bucket_shift is not None:
+            kwargs["shift"] = bucket_shift
+        if far_span is not None:
+            kwargs["span"] = far_span
+        self._queue = CalendarQueue(**kwargs)
+        self._processed = 0
+        self._pool: List[Event] = []
+        self._telemetry: Optional[Any] = None
+        self._faults: Optional[Any] = None
+        #: precompiled dispatch slot: True selects the tight
+        #: no-instrumentation loop; rebuilt only on (de)attachment.
+        self._fast_dispatch = True
+
+    # ------------------------------------------------------------------
+    # instrumentation seams (dispatch slot rebuild points)
+    # ------------------------------------------------------------------
+
+    @property
+    def telemetry(self) -> Optional[Any]:
+        """Optional telemetry sampler ticked as the clock advances."""
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, sampler: Optional[Any]) -> None:
+        self._telemetry = sampler
+        self._rebuild_dispatch()
+
+    @property
+    def faults(self) -> Optional[Any]:
+        """Optional fault injector ticked the same way."""
+        return self._faults
+
+    @faults.setter
+    def faults(self, injector: Optional[Any]) -> None:
+        self._faults = injector
+        self._rebuild_dispatch()
+
+    def _rebuild_dispatch(self) -> None:
+        self._fast_dispatch = self._telemetry is None and self._faults is None
+
+    # ------------------------------------------------------------------
+    # clock / introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._processed
+
+    def pending(self) -> int:
+        """Number of not-yet-fired (possibly cancelled) events."""
+        return len(self._queue)
+
+    def pooled(self) -> int:
+        """Number of recycled Event objects waiting for reuse."""
+        return len(self._pool)
+
+    def compact(self) -> int:
+        """Force a cancelled-entry compaction; returns entries removed."""
+        return self._queue.compact()
+
+    def _note_cancel(self) -> None:
+        self._queue.note_cancel()
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now {self._now}"
+            )
+        self._seq += 1
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = self._seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+            event.live = True
+        else:
+            event = Event(time, self._seq, fn, args)
+            event._engine = self
+        self._queue.push(event)
+        return event
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` picoseconds."""
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def _recycle(self, event: Event) -> None:
+        event.live = False
+        event.fn = None
+        event.args = None
+        pool = self._pool
+        if len(pool) < EVENT_POOL_CAP:
+            pool.append(event)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` callbacks have fired.  Returns the final time.
+        """
+        if until is None and max_events is None and self._fast_dispatch:
+            return self._run_fast()
+        return self._run_full(until, max_events)
+
+    def _run_fast(self) -> int:
+        """Tight dispatch slot: no instrumentation, no bounds.
+
+        Binds the queue internals to locals and batches same-timestamp
+        dispatch (the clock is stored once per distinct timestamp, and a
+        sorted bucket is consumed in one sweep without re-entering the
+        scheduler between callbacks).
+        """
+        queue = self._queue
+        pool = self._pool
+        pool_cap = EVENT_POOL_CAP
+        open_next = queue._open_next
+        shift = queue.shift
+        processed = 0
+        now = self._now
+        while True:
+            # singleton lane: when exactly one event is pending the
+            # queue parks it outside the bucket machinery; dispatch it
+            # directly (the dependent-chain regime lives here)
+            event = queue._single
+            if event is not None:
+                queue._single = None
+                queue._size = 0
+                if event.cancelled:
+                    queue.cancelled -= 1
+                    event.live = False
+                    event.fn = None
+                    event.args = None
+                    if len(pool) < pool_cap:
+                        pool.append(event)
+                    continue
+                time = event.time
+                if time != now:
+                    now = time
+                    self._now = time
+                bucket = time >> shift
+                if bucket > queue._head:
+                    queue._head = bucket
+                fn = event.fn
+                args = event.args
+                event.live = False
+                fn(*args)
+                processed += 1
+                event.fn = None
+                event.args = None
+                if len(pool) < pool_cap:
+                    pool.append(event)
+                continue
+            entries = queue._active
+            if entries is None:
+                if not open_next():
+                    break
+                entries = queue._active
+            idx = queue._active_idx
+            while idx < len(entries):
+                event = entries[idx]
+                idx += 1
+                # keep the queue's cursor accurate: callbacks may insort
+                # into this bucket, and the insertion point must stay at
+                # or past the consumed prefix (which can hold recycled
+                # Event objects).  The size drops per event — not per
+                # bucket — so a callback scheduling from the final slot
+                # sees an empty queue and can park a singleton.
+                queue._active_idx = idx
+                queue._size -= 1
+                if event.cancelled:
+                    queue.cancelled -= 1
+                    event.live = False
+                    event.fn = None
+                    event.args = None
+                    if len(pool) < pool_cap:
+                        pool.append(event)
+                    continue
+                time = event.time
+                if time != now:
+                    now = time
+                    self._now = time
+                fn = event.fn
+                args = event.args
+                event.live = False
+                fn(*args)
+                processed += 1
+                event.fn = None
+                event.args = None
+                if len(pool) < pool_cap:
+                    pool.append(event)
+            # bucket fully consumed (callbacks may have grown it; the
+            # length re-check above covers that)
+            queue._active = None
+            queue._active_idx = 0
+        self._processed += processed
+        return self._now
+
+    def _run_full(self, until: Optional[int], max_events: Optional[int]) -> int:
+        """Instrumented / bounded dispatch slot.
+
+        Exact replica of the legacy kernel's observable behaviour:
+        telemetry and fault hooks tick after every fired callback, and
+        the ``until``/``max_events`` stop conditions match the seed
+        kernel decision for decision.
+        """
+        fired = 0
+        tel = self._telemetry
+        faults = self._faults
+        queue = self._queue
+        while True:
+            peek = queue.peek_time()
+            if peek is None:
+                break
+            if until is not None and peek > until:
+                self._now = until
+                if tel is not None and tel.enabled:
+                    tel.tick(self._now)
+                return self._now
+            event = queue.pop()
+            if event.cancelled:
+                queue.cancelled -= 1
+                self._recycle(event)
+                continue
+            self._now = event.time
+            fn = event.fn
+            args = event.args
+            event.live = False
+            fn(*args)
+            self._processed += 1
+            self._recycle(event)
+            if tel is not None and tel.enabled:
+                tel.tick(self._now)
+            if faults is not None and faults.enabled:
+                faults.tick(self._now)
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        if until is not None and self._now < until:
+            self._now = until
+            if tel is not None and tel.enabled:
+                tel.tick(self._now)
+        return self._now
+
+    def step(self) -> Optional[Tuple[int, Callable[..., Any]]]:
+        """Fire exactly one (non-cancelled) event; return (time, fn) or None."""
+        queue = self._queue
+        while True:
+            event = queue.pop()
+            if event is None:
+                return None
+            if event.cancelled:
+                queue.cancelled -= 1
+                self._recycle(event)
+                continue
+            self._now = event.time
+            fn = event.fn
+            args = event.args
+            event.live = False
+            fn(*args)
+            self._processed += 1
+            time = event.time
+            self._recycle(event)
+            tel = self._telemetry
+            if tel is not None and tel.enabled:
+                tel.tick(self._now)
+            faults = self._faults
+            if faults is not None and faults.enabled:
+                faults.tick(self._now)
+            return (time, fn)
+
+    def advance(self, time: int) -> None:
+        """Move the clock forward without firing events (idle time)."""
+        if time < self._now:
+            raise SimulationError(f"cannot move time backwards to {time}")
+        self._now = time
+
+
+class LegacyEngine:
+    """The seed kernel: one global binary heap of events.
+
+    Retained as the reference implementation: the property tests assert
+    the calendar queue reproduces its firing order exactly, and
+    ``repro-bench --suite kernel`` measures the fast kernel against it.
+    Carries the same cancelled-entry compaction fix as :class:`Engine`
+    (the seed version leaked cancelled entries until their timestamp).
+    """
 
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
         self._heap: List[Event] = []
         self._processed = 0
-        #: optional telemetry sampler ticked as the clock advances.  Kept
-        #: as a plain attribute (no import of repro.telemetry here) so the
-        #: kernel stays dependency-free; ``None`` costs one load + branch
-        #: per fired event.
+        self._cancelled = 0
+        #: optional telemetry sampler ticked as the clock advances
         self.telemetry: Optional[Any] = None
-        #: optional fault injector ticked the same way (sim-time fault
-        #: triggers fire as the clock passes them); same contract.
+        #: optional fault injector ticked the same way
         self.faults: Optional[Any] = None
 
     @property
@@ -65,6 +419,20 @@ class Engine:
         """Number of not-yet-fired (possibly cancelled) events."""
         return len(self._heap)
 
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        if (self._cancelled > COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 > len(self._heap)):
+            self.compact()
+
+    def compact(self) -> int:
+        """Drop cancelled entries from the heap; returns entries removed."""
+        before = len(self._heap)
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        return before - len(self._heap)
+
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute time ``time``."""
         if time < self._now:
@@ -73,6 +441,7 @@ class Engine:
             )
         self._seq += 1
         event = Event(time, self._seq, fn, args)
+        event._engine = self
         heapq.heappush(self._heap, event)
         return event
 
@@ -96,8 +465,11 @@ class Engine:
                 return self._now
             heapq.heappop(self._heap)
             if event.cancelled:
+                if self._cancelled > 0:
+                    self._cancelled -= 1
                 continue
             self._now = event.time
+            event.live = False
             event.fn(*event.args)
             self._processed += 1
             if tel is not None and tel.enabled:
@@ -118,8 +490,11 @@ class Engine:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                if self._cancelled > 0:
+                    self._cancelled -= 1
                 continue
             self._now = event.time
+            event.live = False
             event.fn(*event.args)
             self._processed += 1
             tel = self.telemetry

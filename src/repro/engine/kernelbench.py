@@ -1,0 +1,266 @@
+"""Kernel microbenchmarks: optimized calendar kernel vs the seed heap.
+
+``repro-bench --suite kernel`` runs these.  Each case drives the
+optimized :class:`~repro.engine.event.Engine` and the seed
+:class:`~repro.engine.event.LegacyEngine` through an *identical*
+deterministic event workload, measuring events dispatched per wall
+second on each and cross-checking determinism: every callback folds
+``(now, label)`` into an order-sensitive checksum, and the two kernels
+(and every timing repeat) must produce the same value — the checksum is
+also a machine-independent metric the bench baseline gates on.
+
+The workloads are shaped after the request streams the simulator's own
+figures produce, not synthetic uniform noise:
+
+* ``ddrt_burst`` — bursts of same/near-timestamp completions like an
+  interleaved-DIMM fig1 bandwidth stream (exercises batched same-time
+  dispatch and bucket locality);
+* ``pointer_chase`` — one dependent event at a time, each scheduling
+  its successor, like the fig3 latency chain (exercises near-empty
+  queue overhead);
+* ``cancel_heavy`` — timeout-style schedules with most handles
+  cancelled before firing (exercises lazy deletion and compaction);
+* ``far_horizon`` — a hot near-term stream plus sparse far-future
+  events like telemetry ticks and wear migrations (exercises the
+  far-future fallback heap and bucket migration).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.engine.event import Engine, LegacyEngine
+
+MASK32 = 0xFFFFFFFF
+
+#: events per case at smoke scale; paper scale multiplies this
+SMOKE_EVENTS = 60_000
+PAPER_MULTIPLIER = 5
+
+#: timing repeats per (case, kernel); the best wall time is reported so
+#: one scheduler hiccup cannot fail the same-runner relative gate
+REPEATS = 3
+
+
+class _Checksum:
+    """Order-sensitive fold of the firing trace."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def fold(self, now: int, label: int) -> None:
+        self.value = ((self.value * 1_000_003) ^ now ^ (label << 1)) & MASK32
+
+
+def _drive_ddrt_burst(engine, nevents: int, seed: int) -> int:
+    """Bursty clustered completions: groups of events sharing (or nearly
+    sharing) a timestamp, scheduled from inside dispatch like chained
+    station completions."""
+    rng = random.Random(seed)
+    check = _Checksum()
+    fold = check.fold
+    state = {"scheduled": 0}
+
+    def completion(label: int) -> None:
+        fold(engine.now, label)
+        # each burst leader schedules the next burst (steady state)
+        if label % 8 == 0 and state["scheduled"] < nevents:
+            _burst()
+
+    def _burst() -> None:
+        base = rng.choice((100, 100, 250, 350))
+        size = min(8, nevents - state["scheduled"])
+        for i in range(size):
+            label = state["scheduled"]
+            state["scheduled"] += 1
+            # 6 of 8 events in a burst share one timestamp; two straggle
+            offset = 0 if i < 6 else rng.choice((25, 50))
+            engine.schedule(base + offset, completion, label)
+
+    for _ in range(4):          # a few independent streams in flight
+        if state["scheduled"] < nevents:
+            _burst()
+    engine.run()
+    return check.value
+
+
+def _drive_pointer_chase(engine, nevents: int, seed: int) -> int:
+    """Serial dependent chain: each completion schedules the next."""
+    rng = random.Random(seed)
+    check = _Checksum()
+    fold = check.fold
+    state = {"fired": 0}
+
+    def completion() -> None:
+        label = state["fired"]
+        state["fired"] += 1
+        fold(engine.now, label)
+        if state["fired"] < nevents:
+            engine.schedule(rng.choice((169_000, 305_000, 431_000)),
+                            completion)
+
+    engine.schedule(169_000, completion)
+    engine.run()
+    return check.value
+
+
+def _drive_cancel_heavy(engine, nevents: int, seed: int) -> int:
+    """Timeout pattern: every request schedules a guard event far out,
+    then ~90% are cancelled when the request 'completes' early."""
+    rng = random.Random(seed)
+    check = _Checksum()
+    fold = check.fold
+    pending: List = []
+    state = {"scheduled": 0}
+
+    def fired(label: int) -> None:
+        fold(engine.now, label)
+
+    def completion(label: int) -> None:
+        fold(engine.now, label)
+        # retire old guards: cancel most, let a few fire
+        while len(pending) > 8:
+            handle = pending.pop(rng.randrange(len(pending)))
+            if rng.random() < 0.9:
+                handle.cancel()
+        if state["scheduled"] < nevents:
+            _issue()
+
+    def _issue() -> None:
+        label = state["scheduled"]
+        state["scheduled"] += 1
+        engine.schedule(rng.choice((200, 300, 450)), completion, label)
+        pending.append(
+            engine.schedule(1_000_000 + rng.randrange(64) * 4096,
+                            fired, label))
+        state["scheduled"] += 1
+
+    for _ in range(4):
+        if state["scheduled"] < nevents:
+            _issue()
+    engine.run()
+    return check.value
+
+
+def _drive_far_horizon(engine, nevents: int, seed: int) -> int:
+    """Hot near-term stream plus sparse far-future ticks (telemetry /
+    wear-migration shaped): exercises far-heap migration at bucket
+    open."""
+    rng = random.Random(seed)
+    check = _Checksum()
+    fold = check.fold
+    state = {"scheduled": 0}
+
+    def completion(label: int) -> None:
+        fold(engine.now, label)
+        if state["scheduled"] < nevents:
+            _issue()
+
+    def _issue() -> None:
+        label = state["scheduled"]
+        state["scheduled"] += 1
+        engine.schedule(rng.choice((120, 120, 180, 240)), completion, label)
+        if label % 64 == 0:     # sparse far-future tick
+            tick = state["scheduled"]
+            state["scheduled"] += 1
+            engine.schedule(500_000_000 + rng.randrange(1024) * 65_536,
+                            completion, tick)
+
+    for _ in range(8):
+        if state["scheduled"] < nevents:
+            _issue()
+    engine.run()
+    return check.value
+
+
+#: case name -> driver(engine, nevents, seed) -> checksum
+CASES: Dict[str, Callable] = {
+    "ddrt_burst": _drive_ddrt_burst,
+    "pointer_chase": _drive_pointer_chase,
+    "cancel_heavy": _drive_cancel_heavy,
+    "far_horizon": _drive_far_horizon,
+}
+
+KERNELS: Tuple[Tuple[str, Callable], ...] = (
+    ("legacy", LegacyEngine),
+    ("optimized", Engine),
+)
+
+
+def _time_case(driver: Callable, kernel_factory: Callable, nevents: int,
+               seed: int, repeats: int = REPEATS
+               ) -> Tuple[float, int, int]:
+    """Best wall seconds, events processed, checksum for one kernel.
+
+    Every repeat must reproduce the same checksum and event count — a
+    mismatch means the kernel is non-deterministic, which is a hard
+    error, not a perf signal.
+    """
+    best_wall = float("inf")
+    checksum = None
+    processed = 0
+    for _ in range(repeats):
+        engine = kernel_factory()
+        start = time.perf_counter()
+        value = driver(engine, nevents, seed)
+        wall = time.perf_counter() - start
+        if checksum is None:
+            checksum, processed = value, engine.processed_events
+        elif value != checksum or engine.processed_events != processed:
+            raise AssertionError(
+                f"non-deterministic kernel run: checksum {value:#x} != "
+                f"{checksum:#x} or events {engine.processed_events} != "
+                f"{processed}")
+        if wall < best_wall:
+            best_wall = wall
+    return best_wall, processed, checksum
+
+
+def run_kernel_bench(nevents: int = SMOKE_EVENTS, seed: int = 0,
+                     repeats: int = REPEATS) -> Dict[str, Dict[str, object]]:
+    """Run every case on both kernels; returns per-case results.
+
+    Each entry carries the optimized kernel's wall seconds / events /
+    events-per-second (the continuously tracked numbers), the legacy
+    kernel's for the same workload, the same-runner ``speedup``, and the
+    deterministic firing-order ``order_checksum`` — cross-checked equal
+    between the two kernels here (an inequality raises: the optimized
+    kernel must be *invisible*, so a divergence is a correctness bug the
+    bench refuses to time).
+    """
+    results: Dict[str, Dict[str, object]] = {}
+    for case, driver in CASES.items():
+        sides = {}
+        for kernel_name, factory in KERNELS:
+            wall, processed, checksum = _time_case(
+                driver, factory, nevents, seed, repeats)
+            sides[kernel_name] = {
+                "wall_s": wall,
+                "events": processed,
+                "events_per_s": processed / wall if wall > 0 else 0.0,
+                "checksum": checksum,
+            }
+        legacy, optimized = sides["legacy"], sides["optimized"]
+        if legacy["checksum"] != optimized["checksum"] or \
+                legacy["events"] != optimized["events"]:
+            raise AssertionError(
+                f"kernel divergence on {case!r}: legacy fired "
+                f"{legacy['events']} events (checksum "
+                f"{legacy['checksum']:#x}), optimized fired "
+                f"{optimized['events']} (checksum "
+                f"{optimized['checksum']:#x})")
+        results[case] = {
+            "events": optimized["events"],
+            "order_checksum": optimized["checksum"],
+            "optimized_wall_s": optimized["wall_s"],
+            "optimized_events_per_s": optimized["events_per_s"],
+            "legacy_wall_s": legacy["wall_s"],
+            "legacy_events_per_s": legacy["events_per_s"],
+            "speedup": (optimized["events_per_s"] / legacy["events_per_s"]
+                        if legacy["events_per_s"] > 0 else 0.0),
+        }
+    return results

@@ -70,20 +70,23 @@ class Server:
 class BankedServer:
     """A set of independent FCFS servers indexed by bank number."""
 
+    __slots__ = ("banks", "nbanks")
+
     def __init__(self, nbanks: int) -> None:
         if nbanks <= 0:
             raise ConfigError(f"nbanks must be positive, got {nbanks}")
         self.banks: List[Server] = [Server() for _ in range(nbanks)]
+        self.nbanks = nbanks
 
     def __len__(self) -> int:
-        return len(self.banks)
+        return self.nbanks
 
     def serve(self, bank: int, arrival: int, service: int) -> int:
         """Serve on bank ``bank``; returns the completion time."""
-        return self.banks[bank % len(self.banks)].serve(arrival, service)
+        return self.banks[bank % self.nbanks].serve(arrival, service)
 
     def next_free(self, bank: int, arrival: int) -> int:
-        return self.banks[bank % len(self.banks)].next_free(arrival)
+        return self.banks[bank % self.nbanks].next_free(arrival)
 
     def reset(self) -> None:
         for bank in self.banks:

@@ -114,6 +114,11 @@ def build(name: str, **overrides: Any):
         bus = getattr(system, "instrument", None)
         if isinstance(bus, InstrumentBus):
             faults.publish(bus)
+    if isinstance(system, TargetSystem):
+        # Session instrumentation was attached instance-side above;
+        # recompile the system's hot-path method bindings to match
+        # (fast uninstrumented variants vs the full class methods).
+        system._rebuild_fast_paths()
     return system
 
 

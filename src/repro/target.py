@@ -35,6 +35,23 @@ class TargetSystem(ABC):
     #: the class default is the zero-cost no-op)
     faults = NULL_FAULTS
 
+    def _rebuild_fast_paths(self) -> None:
+        """Recompile hot-path method bindings after instrumentation changes.
+
+        Mirrors the engine kernel's precompiled dispatch slot: systems
+        with uninstrumented fast variants of ``read``/``write`` bind them
+        instance-side here when ``flight``/``telemetry``/``faults`` are
+        all the null no-ops, and restore the full class implementations
+        otherwise.  The registry calls this after attaching session
+        instrumentation; the default is a no-op.
+        """
+
+    def _uninstrumented(self) -> bool:
+        """True when every instrumentation hook is the zero-cost null."""
+        return (self.flight is NULL_FLIGHT
+                and self.telemetry is NULL_TELEMETRY
+                and self.faults is NULL_FAULTS)
+
     @abstractmethod
     def read(self, addr: int, now: int) -> int:
         """64B read issued at ``now``; returns the data-return time."""

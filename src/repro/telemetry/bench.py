@@ -50,6 +50,10 @@ SUITES: Dict[str, Tuple[str, ...]] = {
     "lens": ("fig5", "fig6", "fig7"),
     # everything in the registry
     "full": (),
+    # simulation-kernel microbenchmarks: optimized calendar kernel vs
+    # the seed binary heap on identical deterministic workloads (not
+    # experiment ids — handled by run_suite directly)
+    "kernel": (),
 }
 
 
@@ -59,6 +63,9 @@ def suite_ids(suite: str) -> List[str]:
     if suite not in SUITES:
         raise KeyError(
             f"unknown suite {suite!r}; known: {', '.join(sorted(SUITES))}")
+    if suite == "kernel":
+        from repro.engine.kernelbench import CASES
+        return [f"kernel.{case}" for case in CASES]
     ids = SUITES[suite]
     return validate_ids(list(ids)) if ids else list(REGISTRY)
 
@@ -97,6 +104,8 @@ def run_suite(suite: str, scale: Scale = Scale.SMOKE,
     """
     from repro.experiments.runner import DEFAULT_SEED, run_experiment
     base_seed = DEFAULT_SEED if seed is None else seed
+    if suite == "kernel":
+        return _run_kernel_suite(scale, base_seed, config)
     ids = suite_ids(suite)
     experiments: Dict[str, object] = {}
     total_wall = 0.0
@@ -154,6 +163,111 @@ def run_suite(suite: str, scale: Scale = Scale.SMOKE,
         },
     }
     return doc
+
+
+def _run_kernel_suite(scale: Scale, seed: int,
+                      config: Optional[Mapping[str, object]]
+                      ) -> Dict[str, object]:
+    """Bench document for the simulation-kernel microbenchmarks.
+
+    Each case is one pseudo-experiment ``kernel.<case>``: the standard
+    ``wall_s``/``requests``/``requests_per_s`` report the *optimized*
+    kernel (so the continuous baseline tracks what production runs use),
+    while the entry additionally carries the legacy-heap numbers from
+    the same run and the same-runner ``speedup`` — which is what the CI
+    relative gate checks (see ``repro-bench``'s kernel gate), keeping
+    the pass/fail machine-independent.  The only gated *metric* is the
+    deterministic firing-order checksum: both kernels must produce it
+    identically here, and any cross-commit drift means event ordering
+    changed.
+    """
+    from repro.engine.kernelbench import (
+        PAPER_MULTIPLIER,
+        SMOKE_EVENTS,
+        run_kernel_bench,
+    )
+    nevents = SMOKE_EVENTS * (
+        PAPER_MULTIPLIER if scale is Scale.PAPER else 1)
+    experiments: Dict[str, object] = {}
+    total_wall = 0.0
+    total_requests = 0
+    completed = True
+    start = time.time()
+    try:
+        cases = run_kernel_bench(nevents=nevents, seed=seed)
+    except Exception:
+        completed = False
+        experiments["kernel"] = {
+            "wall_s": round(time.time() - start, 4),
+            "requests": 0,
+            "requests_per_s": 0.0,
+            "metrics": {},
+            "error": traceback.format_exc(),
+        }
+        cases = {}
+    for case, numbers in cases.items():
+        wall_s = float(numbers["optimized_wall_s"])
+        events = int(numbers["events"])
+        experiments[f"kernel.{case}"] = {
+            "wall_s": round(wall_s, 4),
+            "requests": events,
+            "requests_per_s": round(float(numbers["optimized_events_per_s"]),
+                                    2),
+            "metrics": {
+                f"kernel.{case}.order_checksum":
+                    float(numbers["order_checksum"]),
+            },
+            "legacy_wall_s": round(float(numbers["legacy_wall_s"]), 4),
+            "legacy_events_per_s": round(
+                float(numbers["legacy_events_per_s"]), 2),
+            "speedup": round(float(numbers["speedup"]), 3),
+        }
+        total_wall += wall_s
+        total_requests += events
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": "kernel",
+        "scale": scale.value,
+        "seed": seed,
+        "completed": completed,
+        "manifest": run_manifest(
+            seed=seed,
+            config=dict(config or {}, suite="kernel", scale=scale.value)),
+        "experiments": experiments,
+        "totals": {
+            "wall_s": round(total_wall, 4),
+            "requests": total_requests,
+            "requests_per_s": round(total_requests / total_wall, 2)
+            if total_wall > 0 else 0.0,
+            "peak_rss_kb": _peak_rss_kb(),
+        },
+    }
+
+
+def kernel_gate(doc: Mapping[str, object]) -> List[str]:
+    """Same-runner relative gate for a kernel-suite document.
+
+    Returns one violation line per case where the optimized kernel was
+    *slower* than the legacy heap in the same run (``speedup < 1``).
+    Both kernels ran back-to-back on the same machine, so this gate is
+    load- and hardware-independent in a way absolute thresholds are not.
+    """
+    violations: List[str] = []
+    experiments = doc.get("experiments", {})
+    if not isinstance(experiments, Mapping):
+        return violations
+    for exp_id in sorted(experiments):
+        entry = experiments[exp_id]
+        if not isinstance(entry, Mapping) or "speedup" not in entry:
+            continue
+        speedup = entry["speedup"]
+        if isinstance(speedup, (int, float)) and speedup < 1.0:
+            violations.append(
+                f"{exp_id}: optimized kernel slower than legacy heap "
+                f"(speedup {speedup:.3f}x, "
+                f"{entry.get('requests_per_s', 0):.0f} vs "
+                f"{entry.get('legacy_events_per_s', 0):.0f} events/s)")
+    return violations
 
 
 def validate_bench(doc: Mapping[str, object]) -> List[str]:

@@ -36,6 +36,7 @@ from repro.telemetry.bench import (
     diff_bench,
     find_baseline,
     gate,
+    kernel_gate,
     run_suite,
     suite_ids,
     validate_bench,
@@ -149,6 +150,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("partial document written; skipping regression gate",
               file=sys.stderr)
         return EXIT_PARTIAL
+
+    if args.suite == "kernel":
+        # Same-runner relative gate: both kernels were timed back to
+        # back in this very run, so "optimized must not be slower than
+        # the legacy heap" holds on any machine at any load.
+        for exp_id in sorted(doc["experiments"]):
+            entry = doc["experiments"][exp_id]
+            if "speedup" in entry:
+                print(f"  {exp_id}: {entry['requests_per_s']:.0f} ev/s "
+                      f"optimized vs {entry['legacy_events_per_s']:.0f} "
+                      f"ev/s legacy ({entry['speedup']:.2f}x)")
+        if args.gate != "none":
+            slower = kernel_gate(doc)
+            if slower:
+                print(f"\nREGRESSION: optimized kernel slower than the "
+                      f"legacy heap in {len(slower)} case(s)",
+                      file=sys.stderr)
+                for line in slower:
+                    print(f"  {line}", file=sys.stderr)
+                return EXIT_REGRESSION
+            print("kernel gate: optimized >= legacy in every case")
 
     if baseline_path is None:
         print("no prior baseline found; nothing to diff")

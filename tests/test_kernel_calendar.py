@@ -1,0 +1,290 @@
+"""Fast-path kernel: calendar queue vs legacy heap equivalence.
+
+The optimized kernel must be *invisible*: identical firing order
+(ascending time, FIFO among equal timestamps), identical clock
+behaviour under ``until``/``max_events``, and pooled Event/Request
+objects indistinguishable from fresh ones.  Random workloads are
+cross-checked against the seed binary-heap kernel property-style.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.engine.calendar import CalendarQueue
+from repro.engine.event import Engine, LegacyEngine
+from repro.engine.request import Op, Request, RequestPool
+
+
+def tiny_bucket_engine():
+    """2**2-ps buckets, 4-bucket far horizon: hammers bucket rollover
+    and the far-future heap migration on ordinary timestamps."""
+    return Engine(bucket_shift=2, far_span=4)
+
+
+ENGINE_FACTORIES = [Engine, tiny_bucket_engine]
+
+
+# ---------------------------------------------------------------------------
+# random-workload interpreter, run identically on two kernels
+# ---------------------------------------------------------------------------
+
+#: program op codes: (kind, a, b)
+#:   kind 0 — schedule a recorder at now+a
+#:   kind 1 — cancel the (a mod live)-th still-live handle
+#:   kind 2 — schedule at now+a a callback that schedules a recorder at +b
+#:            when it fires (schedule-during-dispatch)
+#:   kind 3 — run(until=now+a) (partial drain, remnant state)
+#:   kind 4 — cancel-then-reschedule: cancel like kind 1, schedule at now+b
+program_entries = st.tuples(
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=300),
+    st.integers(min_value=0, max_value=120),
+)
+
+
+def run_program(engine, program):
+    """Interpret ``program``; returns the (time, label) firing trace."""
+    fired = []
+    handles = {}
+    label_counter = [0]
+
+    def recorder(label, slot):
+        def cb():
+            fired.append((engine.now, label))
+            handles.pop(slot, None)   # contract: drop fired handles
+        return cb
+
+    def chained(label, slot, delay):
+        def cb():
+            fired.append((engine.now, label))
+            handles.pop(slot, None)
+            inner = label_counter[0]
+            label_counter[0] += 1
+            inner_slot = f"chain-{inner}"
+            handles[inner_slot] = engine.schedule(
+                delay, recorder(inner, inner_slot))
+        return cb
+
+    def do_schedule(delay, chain_delay=None):
+        label = label_counter[0]
+        label_counter[0] += 1
+        slot = f"top-{label}"
+        if chain_delay is None:
+            handles[slot] = engine.schedule(delay, recorder(label, slot))
+        else:
+            handles[slot] = engine.schedule(
+                delay, chained(label, slot, chain_delay))
+
+    for kind, a, b in program:
+        if kind == 0:
+            do_schedule(a)
+        elif kind == 1 and handles:
+            slot = sorted(handles)[a % len(handles)]
+            handles.pop(slot).cancel()
+        elif kind == 2:
+            do_schedule(a, chain_delay=b)
+        elif kind == 3:
+            engine.run(until=engine.now + a)
+        elif kind == 4 and handles:
+            slot = sorted(handles)[a % len(handles)]
+            handles.pop(slot).cancel()
+            do_schedule(b)
+    engine.run()
+    return fired
+
+
+@settings(max_examples=120, deadline=None)
+@given(program=st.lists(program_entries, max_size=60))
+def test_calendar_matches_legacy_heap_order(program):
+    legacy_trace = run_program(LegacyEngine(), program)
+    for factory in ENGINE_FACTORIES:
+        engine = factory()
+        assert run_program(engine, program) == legacy_trace
+        legacy = LegacyEngine()
+        run_program(legacy, program)
+        assert engine.now == legacy.now
+        assert engine.processed_events == legacy.processed_events
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    times=st.lists(st.integers(min_value=0, max_value=500),
+                   min_size=1, max_size=80),
+    until=st.integers(min_value=0, max_value=600),
+)
+def test_run_until_matches_legacy(times, until):
+    def drive(engine):
+        fired = []
+        for i, t in enumerate(times):
+            engine.schedule_at(t, fired.append, i)
+        engine.run(until=until)
+        mid = (list(fired), engine.now, engine.pending())
+        engine.run()
+        return mid, fired, engine.now
+
+    legacy = drive(LegacyEngine())
+    for factory in ENGINE_FACTORIES:
+        assert drive(factory()) == legacy
+
+
+# ---------------------------------------------------------------------------
+# equal-timestamp FIFO regression
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("factory", ENGINE_FACTORIES + [LegacyEngine])
+def test_equal_timestamp_fifo(factory):
+    engine = factory()
+    order = []
+    for i in range(50):
+        engine.schedule_at(1000, order.append, i)
+    # same-timestamp events scheduled *during* dispatch fire in the same
+    # batch, after every earlier-scheduled equal-time event
+    engine.schedule_at(1000, lambda: engine.schedule_at(
+        1000, order.append, "late"))
+    engine.schedule_at(1000, order.append, 50)
+    engine.run()
+    assert order == list(range(51)) + ["late"]
+    assert engine.now == 1000
+
+
+@pytest.mark.parametrize("factory", ENGINE_FACTORIES)
+def test_far_future_heap_fallback_preserves_order(factory):
+    engine = factory()
+    order = []
+    # far-future first (beyond any span at tiny shift), then near events
+    engine.schedule_at(10_000_000, order.append, "far2")
+    engine.schedule_at(9_999_999, order.append, "far1")
+    for t in (5, 3, 9):
+        engine.schedule_at(t, order.append, t)
+    engine.run()
+    assert order == [3, 5, 9, "far1", "far2"]
+    assert engine.processed_events == 5
+
+
+# ---------------------------------------------------------------------------
+# lazy deletion / compaction (the Event.cancel leak fix)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("factory", ENGINE_FACTORIES + [LegacyEngine])
+def test_cancel_compaction_bounds_queue(factory):
+    engine = factory()
+    handles = [engine.schedule_at(10_000 + i, lambda: None)
+               for i in range(2000)]
+    for handle in handles[:1990]:
+        handle.cancel()
+    # dead entries must have been compacted away, not accumulated:
+    # >1000 cancelled with only 10 live crosses the half-queue threshold
+    assert engine.pending() < 200
+    engine.run()
+    assert engine.processed_events == 10
+
+
+@pytest.mark.parametrize("factory", ENGINE_FACTORIES + [LegacyEngine])
+def test_cancelled_events_never_fire(factory):
+    engine = factory()
+    fired = []
+    keep = engine.schedule_at(50, fired.append, "keep")
+    for i in range(40):
+        engine.schedule_at(50, fired.append, i).cancel()
+    assert keep is not None
+    engine.run()
+    assert fired == ["keep"]
+
+
+# ---------------------------------------------------------------------------
+# pooling: recycled objects must never leak stale state
+# ---------------------------------------------------------------------------
+
+def test_event_pool_reuse_resets_state():
+    engine = Engine()
+    first = engine.schedule_at(5, lambda: None)
+    first_args_id = id(first)
+    engine.run()
+    assert engine.pooled() >= 1
+    # cancel-after-fire is a safe no-op (live flag), not a stale cancel
+    first.cancel()
+    reused = engine.schedule_at(7, len, (1, 2))
+    assert reused is first            # recycled from the pool
+    assert id(reused) == first_args_id
+    assert reused.time == 7
+    assert reused.fn is len
+    assert reused.args == ((1, 2),)
+    assert reused.cancelled is False
+    assert reused.live is True
+    engine.run()
+    assert engine.processed_events == 2
+
+
+def test_event_pool_reuse_after_cancel():
+    engine = Engine()
+    handle = engine.schedule_at(5, lambda: None)
+    handle.cancel()
+    engine.run()
+    reused = engine.schedule_at(9, lambda: None)
+    assert reused.cancelled is False and reused.live is True
+    engine.run()
+    assert engine.processed_events == 1
+
+
+def test_request_pool_reuse_resets_state():
+    pool = RequestPool(capacity=4)
+    req = pool.acquire(0x1000, op=Op.WRITE_NT, issue_ps=77)
+    req.accept_ps = 90
+    req.complete_ps = 120
+    req.annotate("k", 1)
+    req.flight = object()
+    old_id = req.req_id
+    pool.release(req)
+    recycled = pool.acquire(0x2000)
+    assert recycled is req
+    assert recycled.addr == 0x2000
+    assert recycled.op is Op.READ
+    assert recycled.issue_ps == 0
+    assert recycled.accept_ps == 0 and recycled.complete_ps == 0
+    assert recycled.meta is None
+    assert recycled.flight is None
+    assert recycled.req_id != old_id     # fresh id: indistinguishable from new
+
+
+def test_request_pool_capacity_bound():
+    pool = RequestPool(capacity=2)
+    reqs = [Request(addr=i) for i in range(5)]
+    for req in reqs:
+        pool.release(req)
+    assert len(pool) == 2
+
+
+def test_request_is_slotted():
+    req = Request(addr=0)
+    assert not hasattr(req, "__dict__")
+    with pytest.raises(AttributeError):
+        req.arbitrary_attribute = 1
+
+
+# ---------------------------------------------------------------------------
+# calendar queue unit behaviour
+# ---------------------------------------------------------------------------
+
+def test_calendar_queue_len_and_compact():
+    class Entry:
+        __slots__ = ("time", "seq", "cancelled")
+
+        def __init__(self, time, seq):
+            self.time = time
+            self.seq = seq
+            self.cancelled = False
+
+    queue = CalendarQueue(shift=2, span=4)
+    entries = [Entry(t, i) for i, t in enumerate([5, 5, 9, 100, 10_000])]
+    for entry in entries:
+        queue.push(entry)
+    assert len(queue) == 5
+    entries[1].cancelled = True
+    entries[3].cancelled = True
+    assert queue.compact() == 2
+    assert len(queue) == 3
+    popped = [queue.pop() for _ in range(3)]
+    assert [(e.time, e.seq) for e in popped] == [(5, 0), (9, 2), (10_000, 4)]
+    assert queue.pop() is None
