@@ -96,3 +96,9 @@ class PMEPModel(TargetSystem):
 
     def fence(self, now: int) -> int:
         return now
+
+    def reset(self) -> None:
+        """Warm-cache reset: idle DRAM and throttle server."""
+        self.dram.reset()
+        self._throttle.reset()
+        self._rebuild_fast_paths()

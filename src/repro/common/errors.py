@@ -1,5 +1,17 @@
 """Exception hierarchy for the repro package."""
 
+import difflib
+
+
+def _suggest(name, known):
+    """``"; did you mean 'x'?"`` (or ``'x' or 'y'``) for a typo'd name."""
+    matches = difflib.get_close_matches(name, known, n=2, cutoff=0.5)
+    if not matches:
+        return ""
+    if len(matches) == 1:
+        return f"; did you mean {matches[0]!r}?"
+    return f"; did you mean {matches[0]!r} or {matches[1]!r}?"
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
@@ -43,7 +55,9 @@ class UnknownTargetError(ReproError):
         self.name = name
         self.known = sorted(known)
         choices = ", ".join(self.known) or "(none registered)"
-        super().__init__(f"unknown target {name!r}; choose from: {choices}")
+        super().__init__(f"unknown target {name!r}"
+                         f"{_suggest(name, self.known)}"
+                         f"; choose from: {choices}")
 
 
 class UnknownExperimentError(ReproError):
@@ -53,5 +67,42 @@ class UnknownExperimentError(ReproError):
         self.name = name
         self.known = sorted(known)
         choices = ", ".join(self.known) or "(none registered)"
-        super().__init__(f"unknown experiment {name!r}; "
-                         f"known experiments: {choices}")
+        super().__init__(f"unknown experiment {name!r}"
+                         f"{_suggest(name, self.known)}"
+                         f"; known experiments: {choices}")
+
+
+class UnknownOverrideError(ReproError):
+    """``registry.build`` was passed an override kwarg the target's
+    builder does not accept.
+
+    A typo like ``lazy_cahe=True`` must fail loudly instead of silently
+    building the default configuration; the error names the bad key and
+    the valid override set (with a closest-match suggestion).
+    """
+
+    def __init__(self, target: str, key: str, allowed=()):
+        self.target = target
+        self.key = key
+        self.allowed = sorted(allowed)
+        choices = ", ".join(self.allowed) or "(none)"
+        super().__init__(f"unknown override {key!r} for target "
+                         f"{target!r}{_suggest(key, self.allowed)}"
+                         f"; valid overrides: {choices}")
+
+
+class QuotaExceededError(ReproError):
+    """A serve-session submission exceeded its tenant's quota.
+
+    The session scheduler raises this for backpressure (bounded per-tenant
+    queues) and quota enforcement; the wire protocol maps it to a
+    429-style ``{"error": {"code": 429}}`` rejection.
+    """
+
+    #: HTTP-flavoured status code carried on the wire
+    code = 429
+
+    def __init__(self, tenant: str, reason: str):
+        self.tenant = tenant
+        self.reason = reason
+        super().__init__(f"tenant {tenant!r} over quota: {reason}")

@@ -85,5 +85,9 @@ class DramDevice:
         return hits / total if total else 0.0
 
     def reset(self) -> None:
+        """As-built state: idle channels *and* zeroed device counters
+        (row hits/misses etc.), so a warm-cache-reused device is
+        indistinguishable from a fresh one."""
         for channel in self.channels:
             channel.reset()
+        self.stats.reset()

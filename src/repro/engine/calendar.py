@@ -267,6 +267,19 @@ class CalendarQueue:
     # lazy deletion
     # ------------------------------------------------------------------
 
+    def clear(self) -> None:
+        """Drop every queued entry and rewind to the as-built state."""
+        self._bins.clear()
+        self._heap.clear()
+        self._far.clear()
+        self._active = None
+        self._active_idx = 0
+        self._active_bucket = -1
+        self._head = 0
+        self._single = None
+        self._size = 0
+        self.cancelled = 0
+
     def note_cancel(self) -> None:
         """Record one cancellation; compact when the dead fraction wins."""
         self.cancelled += 1

@@ -161,6 +161,19 @@ class Engine:
     def _note_cancel(self) -> None:
         self._queue.note_cancel()
 
+    def reset(self) -> None:
+        """Rewind the clock to zero and drop all pending events.
+
+        Part of the resettable target lifecycle: a reused engine must
+        schedule and fire exactly like a freshly constructed one, so the
+        sequence counter restarts too (event ordering ties break on it).
+        The recycled-event pool is kept — pooled events carry no state.
+        """
+        self._now = 0
+        self._seq = 0
+        self._processed = 0
+        self._queue.clear()
+
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
@@ -432,6 +445,14 @@ class LegacyEngine:
         heapq.heapify(self._heap)
         self._cancelled = 0
         return before - len(self._heap)
+
+    def reset(self) -> None:
+        """Rewind to the as-built state (see :meth:`Engine.reset`)."""
+        self._now = 0
+        self._seq = 0
+        self._heap.clear()
+        self._processed = 0
+        self._cancelled = 0
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute time ``time``."""

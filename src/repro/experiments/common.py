@@ -59,6 +59,11 @@ class ExperimentResult:
     #: when the campaign ran under a fault plan; includes the
     #: persistence audit when a power cut triggered.
     faults: Dict[str, object] = field(default_factory=dict)
+    #: serving-session identity (session/tenant ids) attached when the
+    #: result was produced by a ``repro-serve`` session.  Deliberately a
+    #: separate field: the simulation payload (metrics, series,
+    #: telemetry) stays bit-identical between served and batch runs.
+    session: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:

@@ -1,0 +1,399 @@
+"""Experiment execution core, decoupled from any front end.
+
+This module owns *how one experiment (or raw request stream) runs*:
+the id -> :class:`ExperimentSpec` registry, per-experiment seeding,
+instrumentation collection, flight/telemetry/fault session plumbing,
+and the worker-process entry points the crash-tolerant schedulers use.
+
+Two front ends drive it:
+
+* :mod:`repro.experiments.runner` — the batch CLI (campaign fan-out,
+  rendering, JSON export);
+* :mod:`repro.serve` — the long-lived session daemon, whose worker
+  pool calls :func:`run_experiment`/:func:`run_stream` directly and
+  relies on the registry warm cache to reuse built targets across
+  sessions.
+
+Both produce bit-identical :class:`ExperimentResult` payloads for the
+same ``(experiment, scale, seed)``; serving identity travels in the
+separate ``result.session`` field so the simulation payload never
+depends on who asked for it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+import traceback
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from repro import registry
+from repro.common.errors import UnknownExperimentError
+from repro.experiments import ablation, bandwidth_matrix, characterize
+from repro.experiments import energy_study, fig01, fig03, fig05, fig06
+from repro.experiments import fig07, fig09, fig10, fig11, fig12, fig13
+from repro.experiments import numa_study, scaling, tables
+from repro.experiments.common import ExperimentResult, Scale
+from repro.faults.injector import FaultInjector
+from repro.faults.injector import session as faults_session
+from repro.faults.persistence import PersistenceChecker
+from repro.faults.plan import FaultPlan
+from repro.faults.report import fault_report
+from repro.flight import FlightRecord, FlightRecorder, breakdowns
+from repro.flight import session as flight_session
+from repro.instrument import Collection
+from repro.target import TargetSystem
+from repro.telemetry import TelemetrySampler
+from repro.telemetry import session as telemetry_session
+
+DEFAULT_SEED = 42
+
+#: first-retry delay; attempt ``n`` waits ``BACKOFF_S * 2**(n-1)``
+BACKOFF_S = 0.5
+
+#: exit codes CLIs return for campaign outcomes
+EXIT_OK = 0
+EXIT_ALL_FAILED = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 4
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Metadata for one runnable experiment id."""
+
+    id: str
+    run: Callable[[Scale], object]
+    section: str
+    description: str
+    #: rough smoke-scale runtime in seconds (for --list and for
+    #: longest-first scheduling under --workers)
+    est_cost: float
+    #: registry target names the experiment builds
+    targets: Tuple[str, ...]
+
+
+def _spec(id, run, section, description, est_cost, targets):
+    return ExperimentSpec(id, run, section, description, est_cost,
+                          tuple(targets))
+
+
+#: experiment id -> spec (insertion order is the canonical run order)
+REGISTRY: Dict[str, ExperimentSpec] = {s.id: s for s in [
+    _spec("fig1", fig01.run, "II",
+          "pointer-chase latency tiers vs. prior simulators", 1.5,
+          ["vans", "ramulator-ddr4"]),
+    _spec("fig3", fig03.run, "III",
+          "existing emulators/simulators miss the buffer tiers", 2.0,
+          ["vans", "pmep", "quartz", "dramsim2-ddr3", "ramulator-ddr4",
+           "ramulator-pcm"]),
+    _spec("fig5", fig05.run, "IV-B",
+          "LENS buffer prober: read/write capacity inflections", 2.0,
+          ["vans"]),
+    _spec("fig6", fig06.run, "IV-B",
+          "LENS entry-size and flush-granularity probes", 2.0,
+          ["vans"]),
+    _spec("fig7", fig07.run, "IV-C",
+          "LENS policy prober: overwrite tails, wear leveling", 5.0,
+          ["vans"]),
+    _spec("fig8", characterize.run, "IV",
+          "full LENS characterization of the simulated DIMM", 14.0,
+          ["vans", "vans-6dimm"]),
+    _spec("fig9", fig09.run, "V-B",
+          "VANS validation: latency curves vs. Optane reference", 4.0,
+          ["vans", "optane-ref"]),
+    _spec("fig10", fig10.run, "V-B",
+          "capacity/DIMM-count scaling validation", 6.0,
+          ["vans"]),
+    _spec("fig11", fig11.run, "V-B",
+          "bandwidth validation across read/write mixes", 11.0,
+          ["vans-6dimm"]),
+    _spec("fig12", fig12.run, "V-C",
+          "wear-leveling case study (YCSB-like hot lines)", 6.0,
+          ["vans"]),
+    _spec("fig13", fig13.run, "V-C",
+          "Lazy cache case study: tail latency reduction", 51.0,
+          ["vans", "vans-lazy"]),
+    _spec("tables", tables.run, "tables",
+          "Tables III-V: buffer inventory and timing parameters", 3.0,
+          ["vans", "ramulator-ddr4"]),
+    # beyond the paper's figures: supporting studies
+    _spec("scaling", scaling.run, "extra",
+          "throughput scaling with DIMM population", 3.0,
+          ["vans", "ramulator-ddr4"]),
+    _spec("ablation", ablation.run, "extra",
+          "microarchitectural ablations (combine window, engine hold)", 5.0,
+          ["vans"]),
+    _spec("energy", energy_study.run, "extra",
+          "energy model over the access mix", 3.0,
+          ["vans"]),
+    _spec("numa", numa_study.run, "extra",
+          "near/far socket latency study", 3.0,
+          ["vans", "ramulator-ddr4"]),
+    _spec("bandwidth", bandwidth_matrix.run, "extra",
+          "bandwidth matrix across patterns and targets", 4.0,
+          ["vans", "ramulator-ddr4"]),
+]}
+
+
+def validate_ids(ids: Sequence[str]) -> List[str]:
+    """Check every id against the registry; raises
+    :class:`UnknownExperimentError` naming the known ids otherwise."""
+    for exp_id in ids:
+        if exp_id not in REGISTRY:
+            raise UnknownExperimentError(exp_id, REGISTRY)
+    return list(ids)
+
+
+def filter_ids(pattern: str) -> List[str]:
+    """Ids whose id, section, or description contains ``pattern``."""
+    needle = pattern.lower()
+    return [s.id for s in REGISTRY.values()
+            if needle in s.id.lower()
+            or needle in s.section.lower()
+            or needle in s.description.lower()]
+
+
+def make_flight_recorder(spec: Optional[Mapping[str, object]]
+                         ) -> Optional[FlightRecorder]:
+    """Build a per-experiment recorder from CLI-level flight options
+    (``None`` -> recording off)."""
+    if spec is None:
+        return None
+    return FlightRecorder(**spec)
+
+
+def _release_collected(collection: Collection) -> None:
+    """Park the experiment's registry-built systems in the warm cache.
+
+    A no-op unless :func:`repro.registry.enable_warm_cache` is active;
+    :func:`repro.registry.release` itself rejects anything with real
+    flight/fault sinks wired in, so this is safe to call unconditionally
+    after the instrumentation snapshot is frozen.
+    """
+    if not registry.warm_cache_enabled():
+        return
+    for system in collection.systems:
+        if isinstance(system, TargetSystem):
+            registry.release(system)
+
+
+def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
+                   seed: int = DEFAULT_SEED,
+                   flight: Optional[FlightRecorder] = None,
+                   telemetry: Optional[Mapping[str, object]] = None,
+                   faults: Optional[Mapping[str, object]] = None,
+                   session: Optional[Mapping[str, object]] = None
+                   ) -> List[ExperimentResult]:
+    """Run one experiment id; returns its results as a flat list.
+
+    Re-seeds the global RNG from ``(seed, exp_id)`` (experiments draw
+    all randomness through explicitly seeded generators already; this is
+    belt and braces for anything stdlib-level) and attaches the merged
+    instrumentation snapshot of every registry-built system to each
+    result, plus the wall-clock seconds the run took (``result.wall_s``).
+
+    With a ``flight`` recorder, every system the registry builds during
+    the run records per-request spans onto it, and each result carries
+    the sampling summary plus per-op latency breakdowns in
+    ``result.flight``.
+
+    ``telemetry`` is a sampler *spec* (``{"interval_ps": ...}``), not a
+    live sampler: the per-experiment :class:`TelemetrySampler` is always
+    constructed here, so serial and worker-process runs build identical
+    samplers and their timelines stay bit-identical.  Each result then
+    carries ``{"summary": ..., "timeline": ...}`` in ``result.telemetry``.
+
+    ``faults`` is likewise a *plan document* (``repro.faultplan/1``
+    mapping, or a :class:`FaultPlan`), not a live injector: the
+    per-experiment :class:`FaultInjector` + :class:`PersistenceChecker`
+    are constructed here and attached to every system the registry
+    builds, and each result carries the fault report (injection
+    counters plus the persistence audit when a power cut triggered) in
+    ``result.faults``.
+
+    ``session`` is serving identity (session/tenant ids) recorded onto
+    ``result.session`` — and nowhere inside the simulation payload, so
+    a served run stays bit-identical to the batch equivalent.
+    """
+    spec = REGISTRY.get(exp_id)
+    if spec is None:
+        raise UnknownExperimentError(exp_id, REGISTRY)
+    random.seed(f"repro-exp:{seed}:{exp_id}")
+    start = time.time()
+    fl_session = (flight_session(flight) if flight is not None
+                  else nullcontext())
+    sampler = TelemetrySampler(**telemetry) if telemetry is not None else None
+    tel_session = (telemetry_session(sampler) if sampler is not None
+                   else nullcontext())
+    injector: Optional[FaultInjector] = None
+    if faults is not None:
+        plan = (faults if isinstance(faults, FaultPlan)
+                else FaultPlan.from_dict(faults))
+        injector = FaultInjector(plan, checker=PersistenceChecker())
+    fa_session = (faults_session(injector) if injector is not None
+                  else nullcontext())
+    with fl_session, tel_session, fa_session:
+        with Collection() as collection:
+            out = spec.run(scale)
+            results = [out] if isinstance(out, ExperimentResult) else list(out)
+            snapshot = collection.merged()
+    _release_collected(collection)
+    wall_s = time.time() - start
+    flight_summary: Dict[str, object] = {}
+    if flight is not None:
+        flight_summary = {
+            "sampling": flight.sampling_summary(),
+            "breakdowns": {op: bd.as_dict()
+                           for op, bd in breakdowns(flight.records).items()},
+        }
+    telemetry_doc: Dict[str, object] = {}
+    if sampler is not None:
+        telemetry_doc = {"summary": sampler.summary(),
+                         "timeline": sampler.timeline.as_dict()}
+    faults_doc: Dict[str, object] = {}
+    if injector is not None:
+        faults_doc = fault_report(injector)
+    session_doc = dict(session) if session is not None else {}
+    for result in results:
+        result.instrumentation = dict(snapshot)
+        result.flight = dict(flight_summary)
+        result.telemetry = dict(telemetry_doc)
+        result.faults = dict(faults_doc)
+        result.session = dict(session_doc)
+        result.wall_s = wall_s
+    return results
+
+
+#: request-stream ops understood by :func:`run_stream`
+_STREAM_OPS = ("read", "write", "fence")
+
+
+def run_stream(target: str, ops: Sequence[Mapping[str, object]],
+               overrides: Optional[Mapping[str, object]] = None,
+               session: Optional[Mapping[str, object]] = None
+               ) -> Dict[str, object]:
+    """Drive a registry target with a raw request stream.
+
+    Each op is a mapping ``{"op": "read"|"write"|"fence"}`` with
+    optional ``addr`` (default 0), ``count`` (default 1), and ``stride``
+    (default 64) so clients can express compact sweeps without shipping
+    one JSON object per request.  Ops execute back-to-back in simulated
+    time (each issues at the prior op's completion), which makes the
+    outcome a pure function of the stream — the served/batch
+    bit-identity contract for raw streams.
+
+    Returns a JSON-safe summary: per-op counts, final simulated time,
+    cumulative latency, and the target's instrumentation snapshot.
+    """
+    with Collection() as collection:
+        system = registry.acquire(target, **dict(overrides or {}))
+        now = 0
+        counts = {op: 0 for op in _STREAM_OPS}
+        busy_ps = 0
+        for item in ops:
+            op = str(item.get("op", "read"))
+            if op not in _STREAM_OPS:
+                raise ValueError(f"unknown stream op {op!r}; "
+                                 f"choose from: {', '.join(_STREAM_OPS)}")
+            addr = int(item.get("addr", 0))
+            count = int(item.get("count", 1))
+            stride = int(item.get("stride", 64))
+            method = getattr(system, op)
+            for i in range(count):
+                issued = now
+                if op == "fence":
+                    now = method(now)
+                else:
+                    now = method(addr + i * stride, now)
+                busy_ps += now - issued
+            counts[op] += count
+        snapshot = collection.merged()
+    _release_collected(collection)
+    total = sum(counts.values())
+    return {
+        "target": target,
+        "overrides": dict(overrides or {}),
+        "ops": total,
+        "counts": counts,
+        "sim_end_ps": now,
+        "busy_ps": busy_ps,
+        "mean_latency_ps": (busy_ps / total) if total else 0.0,
+        "instrumentation": snapshot,
+        "session": dict(session) if session is not None else {},
+    }
+
+
+#: job tuple: (exp_id, scale_value, seed, flight_spec, telemetry_spec,
+#:             faults_spec) — retries re-send the identical tuple, so
+#: re-executions preserve the seed and every session spec bit-for-bit.
+_Job = Tuple[str, str, int, Optional[Dict[str, object]],
+             Optional[Dict[str, object]], Optional[Dict[str, object]]]
+
+
+def _worker(job: _Job) -> Tuple[str, List[ExperimentResult], float,
+                                List[FlightRecord]]:
+    exp_id, scale_value, seed, flight_spec, telemetry_spec, faults_spec = job
+    start = time.time()
+    recorder = make_flight_recorder(flight_spec)
+    results = run_experiment(exp_id, Scale(scale_value), seed,
+                             flight=recorder, telemetry=telemetry_spec,
+                             faults=faults_spec)
+    records = recorder.records if recorder is not None else []
+    return exp_id, results, time.time() - start, records
+
+
+def _campaign_child(conn, job: _Job) -> None:
+    """Worker-process entry: run one job, ship outcome over the pipe.
+
+    The remote traceback is stringified here — exception objects from
+    experiment code don't always unpickle in the parent, and the
+    original stack is gone by then anyway (the lost-traceback bug this
+    replaces ``ProcessPoolExecutor`` to fix).
+    """
+    try:
+        conn.send(("ok", _worker(job)))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _failure_result(exp_id: str, status: str, error: str,
+                    attempts: int) -> ExperimentResult:
+    """Placeholder result for an experiment that never produced one."""
+    spec = REGISTRY.get(exp_id)
+    result = ExperimentResult(
+        experiment=exp_id,
+        title=spec.description if spec is not None else exp_id,
+        notes="no data: experiment did not complete",
+    )
+    result.status = status
+    result.error = error
+    result.attempts = attempts
+    return result
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits registry mutations made by callers
+    such as tests registering synthetic specs); fall back to the
+    platform default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def campaign_exit_code(results: Sequence[ExperimentResult]) -> int:
+    """0 when every result is ok, 1 when none are, 4 when partial."""
+    if not results:
+        return EXIT_ALL_FAILED
+    ok = sum(1 for r in results if r.status == "ok")
+    if ok == len(results):
+        return EXIT_OK
+    return EXIT_ALL_FAILED if ok == 0 else EXIT_PARTIAL

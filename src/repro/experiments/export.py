@@ -37,6 +37,7 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "error": result.error,
         "attempts": result.attempts,
         "faults": dict(result.faults),
+        "session": dict(result.session),
     }
 
 

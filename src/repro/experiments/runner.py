@@ -2,19 +2,14 @@
 
 ``python -m repro.experiments.runner [--paper] [--workers N] [ids...]``
 
-The runner owns four cross-cutting concerns so individual experiments
-don't have to:
+The execution core — the experiment registry, per-experiment seeding,
+instrumentation/telemetry/fault session plumbing, worker-process entry
+points — lives in :mod:`repro.experiments.exec` so the ``repro-serve``
+session daemon can drive the same code without pulling in this CLI.
+This module keeps the *campaign* concerns:
 
-* **metadata** — every experiment id maps to an :class:`ExperimentSpec`
-  (paper section, estimated smoke-scale cost, registry targets it
-  builds) used for ``--list``, ``--filter``, and parallel scheduling;
-* **instrumentation** — each experiment runs inside an
-  :class:`~repro.instrument.Collection`, so every system the target
-  registry builds for it is gathered and its merged observability
-  snapshot attached to each :class:`ExperimentResult`;
-* **determinism** — per-experiment RNG is re-seeded from
-  ``(seed, experiment id)`` before each run, so ``--workers N`` is
-  bit-identical to a serial run regardless of scheduling order;
+* **scheduling** — serial or ``--workers N`` process fan-out,
+  longest-first packing, bit-identical to serial either way;
 * **crash tolerance** — with ``--timeout``/``--retries`` each experiment
   runs in a watchdogged worker process: a hang is terminated and
   recorded as ``status="timeout"``, a crash captures the remote
@@ -22,235 +17,50 @@ don't have to:
   re-execute with the identical seed (exponential backoff), and specs
   that keep failing are ``status="quarantined"``.  A campaign always
   completes with one result per experiment; the exit code distinguishes
-  all-ok (0), partial (4), and total (1) failure.
+  all-ok (0), partial (4), and total (1) failure;
+* **rendering/export** — aligned-text tables, ASCII plots, flight
+  breakdowns, telemetry reports, JSON export.
 """
 
 from __future__ import annotations
 
 import argparse
-import multiprocessing
 import multiprocessing.connection
-import random
 import sys
 import time
 import traceback
-from contextlib import nullcontext
 from dataclasses import dataclass
 from dataclasses import replace as dc_replace
-from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
-                    Tuple)
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.common.errors import UnknownExperimentError
-from repro.experiments import ablation, bandwidth_matrix, characterize
-from repro.experiments import energy_study, fig01, fig03, fig05, fig06
-from repro.experiments import fig07, fig09, fig10, fig11, fig12, fig13
-from repro.experiments import numa_study, scaling, tables
+# Re-exported execution core: tests and tools import these names from
+# here, and some monkeypatch this module's attributes (REGISTRY is
+# mutated in place, so it must stay the *same* dict object as exec's).
+from repro.experiments.exec import (  # noqa: F401
+    BACKOFF_S,
+    DEFAULT_SEED,
+    EXIT_ALL_FAILED,
+    EXIT_OK,
+    EXIT_PARTIAL,
+    EXIT_USAGE,
+    REGISTRY,
+    ExperimentSpec,
+    _campaign_child,
+    _failure_result,
+    _Job,
+    _mp_context,
+    _spec,
+    _worker,
+    campaign_exit_code,
+    filter_ids,
+    make_flight_recorder,
+    run_experiment,
+    validate_ids,
+)
 from repro.experiments.common import ExperimentResult, Scale
-from repro.faults.injector import FaultInjector
-from repro.faults.injector import session as faults_session
-from repro.faults.persistence import PersistenceChecker
 from repro.faults.plan import FaultPlan
-from repro.faults.report import fault_report
-from repro.flight import (FlightRecord, FlightRecorder, breakdowns,
-                          save_chrome_trace)
-from repro.flight import session as flight_session
-from repro.instrument import Collection
-from repro.telemetry import TelemetrySampler
-from repro.telemetry import session as telemetry_session
-
-DEFAULT_SEED = 42
-
-#: first-retry delay; attempt ``n`` waits ``BACKOFF_S * 2**(n-1)``
-BACKOFF_S = 0.5
-
-#: exit codes main() returns for campaign outcomes
-EXIT_OK = 0
-EXIT_ALL_FAILED = 1
-EXIT_USAGE = 2
-EXIT_PARTIAL = 4
-
-
-@dataclass(frozen=True)
-class ExperimentSpec:
-    """Metadata for one runnable experiment id."""
-
-    id: str
-    run: Callable[[Scale], object]
-    section: str
-    description: str
-    #: rough smoke-scale runtime in seconds (for --list and for
-    #: longest-first scheduling under --workers)
-    est_cost: float
-    #: registry target names the experiment builds
-    targets: Tuple[str, ...]
-
-
-def _spec(id, run, section, description, est_cost, targets):
-    return ExperimentSpec(id, run, section, description, est_cost,
-                          tuple(targets))
-
-
-#: experiment id -> spec (insertion order is the canonical run order)
-REGISTRY: Dict[str, ExperimentSpec] = {s.id: s for s in [
-    _spec("fig1", fig01.run, "II",
-          "pointer-chase latency tiers vs. prior simulators", 1.5,
-          ["vans", "ramulator-ddr4"]),
-    _spec("fig3", fig03.run, "III",
-          "existing emulators/simulators miss the buffer tiers", 2.0,
-          ["vans", "pmep", "quartz", "dramsim2-ddr3", "ramulator-ddr4",
-           "ramulator-pcm"]),
-    _spec("fig5", fig05.run, "IV-B",
-          "LENS buffer prober: read/write capacity inflections", 2.0,
-          ["vans"]),
-    _spec("fig6", fig06.run, "IV-B",
-          "LENS entry-size and flush-granularity probes", 2.0,
-          ["vans"]),
-    _spec("fig7", fig07.run, "IV-C",
-          "LENS policy prober: overwrite tails, wear leveling", 5.0,
-          ["vans"]),
-    _spec("fig8", characterize.run, "IV",
-          "full LENS characterization of the simulated DIMM", 14.0,
-          ["vans", "vans-6dimm"]),
-    _spec("fig9", fig09.run, "V-B",
-          "VANS validation: latency curves vs. Optane reference", 4.0,
-          ["vans", "optane-ref"]),
-    _spec("fig10", fig10.run, "V-B",
-          "capacity/DIMM-count scaling validation", 6.0,
-          ["vans"]),
-    _spec("fig11", fig11.run, "V-B",
-          "bandwidth validation across read/write mixes", 11.0,
-          ["vans-6dimm"]),
-    _spec("fig12", fig12.run, "V-C",
-          "wear-leveling case study (YCSB-like hot lines)", 6.0,
-          ["vans"]),
-    _spec("fig13", fig13.run, "V-C",
-          "Lazy cache case study: tail latency reduction", 51.0,
-          ["vans", "vans-lazy"]),
-    _spec("tables", tables.run, "tables",
-          "Tables III-V: buffer inventory and timing parameters", 3.0,
-          ["vans", "ramulator-ddr4"]),
-    # beyond the paper's figures: supporting studies
-    _spec("scaling", scaling.run, "extra",
-          "throughput scaling with DIMM population", 3.0,
-          ["vans", "ramulator-ddr4"]),
-    _spec("ablation", ablation.run, "extra",
-          "microarchitectural ablations (combine window, engine hold)", 5.0,
-          ["vans"]),
-    _spec("energy", energy_study.run, "extra",
-          "energy model over the access mix", 3.0,
-          ["vans"]),
-    _spec("numa", numa_study.run, "extra",
-          "near/far socket latency study", 3.0,
-          ["vans", "ramulator-ddr4"]),
-    _spec("bandwidth", bandwidth_matrix.run, "extra",
-          "bandwidth matrix across patterns and targets", 4.0,
-          ["vans", "ramulator-ddr4"]),
-]}
-
-
-def validate_ids(ids: Sequence[str]) -> List[str]:
-    """Check every id against the registry; raises
-    :class:`UnknownExperimentError` naming the known ids otherwise."""
-    for exp_id in ids:
-        if exp_id not in REGISTRY:
-            raise UnknownExperimentError(exp_id, REGISTRY)
-    return list(ids)
-
-
-def filter_ids(pattern: str) -> List[str]:
-    """Ids whose id, section, or description contains ``pattern``."""
-    needle = pattern.lower()
-    return [s.id for s in REGISTRY.values()
-            if needle in s.id.lower()
-            or needle in s.section.lower()
-            or needle in s.description.lower()]
-
-
-def make_flight_recorder(spec: Optional[Mapping[str, object]]
-                         ) -> Optional[FlightRecorder]:
-    """Build a per-experiment recorder from CLI-level flight options
-    (``None`` -> recording off)."""
-    if spec is None:
-        return None
-    return FlightRecorder(**spec)
-
-
-def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
-                   seed: int = DEFAULT_SEED,
-                   flight: Optional[FlightRecorder] = None,
-                   telemetry: Optional[Mapping[str, object]] = None,
-                   faults: Optional[Mapping[str, object]] = None
-                   ) -> List[ExperimentResult]:
-    """Run one experiment id; returns its results as a flat list.
-
-    Re-seeds the global RNG from ``(seed, exp_id)`` (experiments draw
-    all randomness through explicitly seeded generators already; this is
-    belt and braces for anything stdlib-level) and attaches the merged
-    instrumentation snapshot of every registry-built system to each
-    result, plus the wall-clock seconds the run took (``result.wall_s``).
-
-    With a ``flight`` recorder, every system the registry builds during
-    the run records per-request spans onto it, and each result carries
-    the sampling summary plus per-op latency breakdowns in
-    ``result.flight``.
-
-    ``telemetry`` is a sampler *spec* (``{"interval_ps": ...}``), not a
-    live sampler: the per-experiment :class:`TelemetrySampler` is always
-    constructed here, so serial and worker-process runs build identical
-    samplers and their timelines stay bit-identical.  Each result then
-    carries ``{"summary": ..., "timeline": ...}`` in ``result.telemetry``.
-
-    ``faults`` is likewise a *plan document* (``repro.faultplan/1``
-    mapping, or a :class:`FaultPlan`), not a live injector: the
-    per-experiment :class:`FaultInjector` + :class:`PersistenceChecker`
-    are constructed here and attached to every system the registry
-    builds, and each result carries the fault report (injection
-    counters plus the persistence audit when a power cut triggered) in
-    ``result.faults``.
-    """
-    spec = REGISTRY.get(exp_id)
-    if spec is None:
-        raise UnknownExperimentError(exp_id, REGISTRY)
-    random.seed(f"repro-exp:{seed}:{exp_id}")
-    start = time.time()
-    session = flight_session(flight) if flight is not None else nullcontext()
-    sampler = TelemetrySampler(**telemetry) if telemetry is not None else None
-    tel_session = (telemetry_session(sampler) if sampler is not None
-                   else nullcontext())
-    injector: Optional[FaultInjector] = None
-    if faults is not None:
-        plan = (faults if isinstance(faults, FaultPlan)
-                else FaultPlan.from_dict(faults))
-        injector = FaultInjector(plan, checker=PersistenceChecker())
-    fa_session = (faults_session(injector) if injector is not None
-                  else nullcontext())
-    with session, tel_session, fa_session:
-        with Collection() as collection:
-            out = spec.run(scale)
-            results = [out] if isinstance(out, ExperimentResult) else list(out)
-            snapshot = collection.merged()
-    wall_s = time.time() - start
-    flight_summary: Dict[str, object] = {}
-    if flight is not None:
-        flight_summary = {
-            "sampling": flight.sampling_summary(),
-            "breakdowns": {op: bd.as_dict()
-                           for op, bd in breakdowns(flight.records).items()},
-        }
-    telemetry_doc: Dict[str, object] = {}
-    if sampler is not None:
-        telemetry_doc = {"summary": sampler.summary(),
-                         "timeline": sampler.timeline.as_dict()}
-    faults_doc: Dict[str, object] = {}
-    if injector is not None:
-        faults_doc = fault_report(injector)
-    for result in results:
-        result.instrumentation = dict(snapshot)
-        result.flight = dict(flight_summary)
-        result.telemetry = dict(telemetry_doc)
-        result.faults = dict(faults_doc)
-        result.wall_s = wall_s
-    return results
+from repro.flight import FlightRecord, breakdowns, save_chrome_trace
 
 
 def run_all(scale: Scale = Scale.SMOKE, ids: Optional[List[str]] = None,
@@ -289,59 +99,6 @@ def run_all(scale: Scale = Scale.SMOKE, ids: Optional[List[str]] = None,
     return [r for exp_id in ids for r in by_id[exp_id][0]]
 
 
-#: job tuple: (exp_id, scale_value, seed, flight_spec, telemetry_spec,
-#:             faults_spec) — retries re-send the identical tuple, so
-#: re-executions preserve the seed and every session spec bit-for-bit.
-_Job = Tuple[str, str, int, Optional[Dict[str, object]],
-             Optional[Dict[str, object]], Optional[Dict[str, object]]]
-
-
-def _worker(job: _Job) -> Tuple[str, List[ExperimentResult], float,
-                                List[FlightRecord]]:
-    exp_id, scale_value, seed, flight_spec, telemetry_spec, faults_spec = job
-    start = time.time()
-    recorder = make_flight_recorder(flight_spec)
-    results = run_experiment(exp_id, Scale(scale_value), seed,
-                             flight=recorder, telemetry=telemetry_spec,
-                             faults=faults_spec)
-    records = recorder.records if recorder is not None else []
-    return exp_id, results, time.time() - start, records
-
-
-def _campaign_child(conn, job: _Job) -> None:
-    """Worker-process entry: run one job, ship outcome over the pipe.
-
-    The remote traceback is stringified here — exception objects from
-    experiment code don't always unpickle in the parent, and the
-    original stack is gone by then anyway (the lost-traceback bug this
-    replaces ``ProcessPoolExecutor`` to fix).
-    """
-    try:
-        conn.send(("ok", _worker(job)))
-    except BaseException:
-        try:
-            conn.send(("error", traceback.format_exc()))
-        except Exception:
-            pass
-    finally:
-        conn.close()
-
-
-def _failure_result(exp_id: str, status: str, error: str,
-                    attempts: int) -> ExperimentResult:
-    """Placeholder result for an experiment that never produced one."""
-    spec = REGISTRY.get(exp_id)
-    result = ExperimentResult(
-        experiment=exp_id,
-        title=spec.description if spec is not None else exp_id,
-        notes="no data: experiment did not complete",
-    )
-    result.status = status
-    result.error = error
-    result.attempts = attempts
-    return result
-
-
 @dataclass
 class _Attempt:
     """One scheduled execution of an experiment id."""
@@ -349,14 +106,6 @@ class _Attempt:
     exp_id: str
     attempt: int          # 1-based
     not_before: float     # wall-clock gate (exponential backoff)
-
-
-def _mp_context():
-    """Prefer fork (cheap, inherits registry mutations made by callers
-    such as tests registering synthetic specs); fall back to the
-    platform default elsewhere."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
 def _run_parallel(ids: List[str], scale: Scale, seed: int, workers: int,
@@ -516,16 +265,6 @@ def _run_parallel(ids: List[str], scale: Scale, seed: int, workers: int,
                      f"(attempt {attempt.attempt}); worker terminated",
                      now - started)
     return by_id
-
-
-def campaign_exit_code(results: Sequence[ExperimentResult]) -> int:
-    """0 when every result is ok, 1 when none are, 4 when partial."""
-    if not results:
-        return EXIT_ALL_FAILED
-    ok = sum(1 for r in results if r.status == "ok")
-    if ok == len(results):
-        return EXIT_OK
-    return EXIT_ALL_FAILED if ok == 0 else EXIT_PARTIAL
 
 
 def _print_listing() -> None:

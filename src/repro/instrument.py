@@ -98,6 +98,9 @@ class NullBus:
     def snapshot(self) -> Dict[str, Number]:
         return {}
 
+    def reset(self) -> None:
+        pass
+
 
 _NULL_COUNTER = _NullCounter()
 _NULL_HISTOGRAM = _NullHistogram()
@@ -186,6 +189,20 @@ class InstrumentBus:
         return BusSignals(dict(self._counters), dict(self._histograms),
                           dict(self._gauges))
 
+    def reset(self) -> None:
+        """Zero every push-style signal (warm-cache reuse lifecycle).
+
+        Counters and histograms are reset in place so components holding
+        direct references keep recording into the same objects.  Gauges
+        are pull-style closures over live component state — they read
+        fresh values automatically once the components themselves reset —
+        so registrations are kept as-is.
+        """
+        for counter in self._counters.values():
+            counter.reset()
+        for hist in self._histograms.values():
+            hist.reset()
+
 
 class ScopedBus:
     """Prefixing view over a root :class:`InstrumentBus`."""
@@ -225,6 +242,16 @@ class ScopedBus:
                 snap[path[len(prefix):]] = value
         return snap
 
+    def reset(self) -> None:
+        """Zero the push-style signals under this scope's prefix only."""
+        prefix = self._prefix + "."
+        for path, counter in self._root._counters.items():
+            if path.startswith(prefix):
+                counter.reset()
+        for path, hist in self._root._histograms.items():
+            if path.startswith(prefix):
+                hist.reset()
+
 
 AnyBus = Union[InstrumentBus, ScopedBus, NullBus]
 
@@ -263,6 +290,12 @@ class Collection:
 
     def register(self, system: object) -> None:
         self._systems.append(system)
+
+    @property
+    def systems(self) -> tuple:
+        """Everything announced while active (e.g. for warm-cache
+        release once the experiment that built them is done)."""
+        return tuple(self._systems)
 
     def __len__(self) -> int:
         return len(self._systems)

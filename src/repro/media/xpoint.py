@@ -172,3 +172,8 @@ class XPointMedia:
         self._bytes_read.reset()
         self._bytes_written.reset()
         self.banks.reset()
+
+    def reset(self) -> None:
+        """As-built state: idle partitions, zero counters (warm-cache
+        lifecycle; the media holds no data, only timing state)."""
+        self.reset_stats()

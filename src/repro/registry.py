@@ -31,14 +31,22 @@ exit code 2.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.baselines.pmep import PMEPModel
 from repro.baselines.quartz import QuartzModel
-from repro.baselines.slow_dram import dramsim2_ddr3, ramulator_ddr4, ramulator_pcm
-from repro.common.errors import UnknownTargetError
+from repro.baselines.slow_dram import (
+    SlowDramSystem,
+    dramsim2_ddr3,
+    ramulator_ddr4,
+    ramulator_pcm,
+)
+from repro.common.errors import UnknownOverrideError, UnknownTargetError
+from repro.faults.injector import NULL_FAULTS
 from repro.faults.injector import current as current_faults
+from repro.flight.recorder import NULL_FLIGHT
 from repro.flight.recorder import current as current_flight
 from repro.instrument import NULL_BUS, InstrumentBus, announce
 from repro.reference import OptaneReference
@@ -47,6 +55,26 @@ from repro.telemetry.sampler import current as current_telemetry
 from repro.vans.config import VansConfig
 from repro.vans.memory_mode import MemoryModeSystem
 from repro.vans.system import VansSystem
+
+
+def _allowed_params(*callables: Callable[..., Any],
+                    exclude: tuple = (),
+                    extra: tuple = ()) -> FrozenSet[str]:
+    """Union of named parameters across builder callables.
+
+    ``**kwargs`` catch-alls are skipped (the callable they forward to is
+    listed explicitly instead), so the resulting set is the exact
+    spelling a caller may use — the basis for typo rejection.
+    """
+    allowed = set(extra)
+    for fn in callables:
+        for p in inspect.signature(fn).parameters.values():
+            if p.kind in (p.VAR_KEYWORD, p.VAR_POSITIONAL):
+                continue
+            if p.name == "self" or p.name in exclude:
+                continue
+            allowed.add(p.name)
+    return frozenset(allowed)
 
 
 @dataclass(frozen=True)
@@ -61,6 +89,10 @@ class TargetSpec:
     #: LENS / trace replay); the Optane reference model is analytic.
     is_system: bool = True
     defaults: Mapping[str, Any] = field(default_factory=dict)
+    #: Exact override names :func:`build` accepts for this target.
+    #: ``None`` disables validation (externally registered specs that
+    #: never declared their surface).
+    allowed: Optional[FrozenSet[str]] = None
 
 
 _SPECS: Dict[str, TargetSpec] = {}
@@ -90,15 +122,28 @@ def target_names(category: Optional[str] = None,
     )
 
 
-def build(name: str, **overrides: Any):
-    """Construct the named target with per-call overrides.
+def _validate_overrides(target_spec: TargetSpec,
+                        overrides: Mapping[str, Any]) -> None:
+    """Reject override kwargs the target's builder does not understand.
 
-    The built system is announced to the active instrumentation
-    :class:`~repro.instrument.Collection` (if any).
+    Without this a typo like ``lazy_cahe=True`` silently builds the
+    default system and the experiment quietly measures the wrong thing.
     """
-    target_spec = spec(name)
-    kwargs = {**target_spec.defaults, **overrides}
-    system = target_spec.builder(**kwargs)
+    allowed = target_spec.allowed
+    if allowed is None:
+        return
+    for key in overrides:
+        if key not in allowed:
+            raise UnknownOverrideError(target_spec.name, key, allowed)
+
+
+def _attach_session(system: Any) -> Any:
+    """Wire a built (or warm-cache reused) system into the session.
+
+    Announces to the active instrumentation Collection, attaches live
+    telemetry instance-side, publishes fault counters, and recompiles
+    the system's hot-path method bindings to match.
+    """
     announce(system)
     telemetry = current_telemetry()
     if telemetry.enabled and isinstance(system, TargetSystem):
@@ -122,14 +167,147 @@ def build(name: str, **overrides: Any):
     return system
 
 
+def build(name: str, **overrides: Any):
+    """Construct the named target with per-call overrides.
+
+    The built system is announced to the active instrumentation
+    :class:`~repro.instrument.Collection` (if any).  Unknown override
+    names raise :class:`~repro.common.errors.UnknownOverrideError`.
+
+    When the warm cache is enabled (:func:`enable_warm_cache`) and a
+    previously :func:`release`-d system matches ``(name, overrides)``
+    exactly, that system is reused instead of rebuilt — except under an
+    active flight/fault session, whose sinks must be constructor-wired
+    and therefore always force a fresh build.
+    """
+    target_spec = spec(name)
+    _validate_overrides(target_spec, overrides)
+    if (_WARM_LIMIT > 0 and not current_flight().enabled
+            and not current_faults().enabled):
+        key = _warm_key(name, overrides)
+        if key is not None:
+            parked = _WARM_CACHE.get(key)
+            if parked:
+                system = parked.pop()
+                if not parked:
+                    del _WARM_CACHE[key]
+                _WARM_STATS["hits"] += 1
+                return _attach_session(system)
+            _WARM_STATS["misses"] += 1
+    kwargs = {**target_spec.defaults, **overrides}
+    system = target_spec.builder(**kwargs)
+    if isinstance(system, TargetSystem):
+        system._registry_key = _warm_key(name, overrides)
+    return _attach_session(system)
+
+
 def factory(name: str, **overrides: Any) -> Callable[[], TargetSystem]:
     """A zero-arg constructor for ``build(name, **overrides)``.
 
-    Validates the name eagerly so a typo fails at wiring time, not in
-    the middle of a sweep.
+    Validates the name and override spellings eagerly so a typo fails
+    at wiring time, not in the middle of a sweep.
     """
-    spec(name)
+    _validate_overrides(spec(name), overrides)
     return lambda: build(name, **overrides)
+
+
+# ----------------------------------------------------------------------
+# warm target cache (build → acquire → run → reset → release)
+# ----------------------------------------------------------------------
+#
+# Building a full VANS system is the dominant fixed cost of short served
+# sessions: config-tree derivation, station wiring, AIT table setup.
+# When serving many sessions against the same named targets the registry
+# can park finished systems and hand them back out instead, relying on
+# the ``TargetSystem.reset()`` lifecycle to restore as-built state.
+#
+# Eligibility is strict — only systems whose flight/fault sinks are the
+# construction-time null objects may be parked, because real sinks are
+# constructor-wired into subcomponents and cannot be detached by reset.
+# Telemetry is attached instance-side, so release simply pops it.
+
+_WARM_LIMIT = 0
+_WARM_CACHE: Dict[Tuple[Any, ...], List[Any]] = {}
+_WARM_STATS = {"hits": 0, "misses": 0, "parked": 0, "dropped": 0,
+               "ineligible": 0}
+
+
+def _warm_key(name: str, overrides: Mapping[str, Any]):
+    """Cache key for (target, overrides); ``None`` if unhashable."""
+    try:
+        key = (name, tuple(sorted(overrides.items())))
+        hash(key)
+        return key
+    except TypeError:
+        return None
+
+
+def enable_warm_cache(limit: int = 8) -> None:
+    """Turn on warm-target reuse, parking at most ``limit`` systems."""
+    global _WARM_LIMIT
+    _WARM_LIMIT = max(0, int(limit))
+    for k in _WARM_STATS:
+        _WARM_STATS[k] = 0
+
+
+def disable_warm_cache() -> None:
+    """Turn off reuse and drop every parked system."""
+    global _WARM_LIMIT
+    _WARM_LIMIT = 0
+    _WARM_CACHE.clear()
+
+
+def warm_cache_enabled() -> bool:
+    return _WARM_LIMIT > 0
+
+
+def warm_cache_stats() -> Dict[str, int]:
+    """Counters plus current occupancy (for /stats and tests)."""
+    stats = dict(_WARM_STATS)
+    stats["size"] = sum(len(v) for v in _WARM_CACHE.values())
+    stats["limit"] = _WARM_LIMIT
+    return stats
+
+
+def acquire(name: str, **overrides: Any):
+    """The warm-cache lifecycle spelling of :func:`build`.
+
+    Reuses a parked system when one matches ``(name, overrides)``
+    exactly, building fresh otherwise.  A reused system has been
+    :meth:`~repro.target.TargetSystem.reset` and produces bit-identical
+    results to a fresh build.  Pair with :func:`release` when the
+    session is done with it.
+    """
+    return build(name, **overrides)
+
+
+def release(system: Any) -> bool:
+    """Return a system acquired via :func:`acquire`/:func:`build` to the
+    warm cache.  Returns ``True`` if it was parked for reuse.
+
+    Systems wired with real flight/fault sinks at construction are never
+    parked (the sinks are threaded through subcomponent constructors and
+    would leak into the next session); the cache is also bounded, so a
+    full cache simply drops the system.
+    """
+    if _WARM_LIMIT <= 0 or not isinstance(system, TargetSystem):
+        return False
+    key = getattr(system, "_registry_key", None)
+    if key is None:
+        return False
+    if system.flight is not NULL_FLIGHT or system.faults is not NULL_FAULTS:
+        _WARM_STATS["ineligible"] += 1
+        return False
+    # Telemetry is attached instance-side by _attach_session; detach it
+    # so the class-level NULL_TELEMETRY default shows through again.
+    system.__dict__.pop("telemetry", None)
+    system.reset()
+    if sum(len(v) for v in _WARM_CACHE.values()) >= _WARM_LIMIT:
+        _WARM_STATS["dropped"] += 1
+        return False
+    _WARM_CACHE.setdefault(key, []).append(system)
+    _WARM_STATS["parked"] += 1
+    return True
 
 
 # ----------------------------------------------------------------------
@@ -246,33 +424,51 @@ def _build_reference(**kwargs: Any) -> OptaneReference:
 # the registry
 # ----------------------------------------------------------------------
 
+#: ``_build_vans`` forwards its ``**config_overrides`` to
+#: :func:`derive_vans_config`, so the valid surface is the union of both
+#: signatures (minus the internal ``base`` positional).
+_VANS_ALLOWED = _allowed_params(_build_vans, derive_vans_config,
+                                exclude=("base",))
+_MEMMODE_ALLOWED = _allowed_params(_build_memory_mode,
+                                   MemoryModeSystem.__init__)
+#: The DRAM-era passthroughs accept their model constructor's knobs plus
+#: the registry-level ``instrument`` opt-out.
+_SLOWDRAM_ALLOWED = _allowed_params(SlowDramSystem.__init__,
+                                    exclude=("timing", "name"),
+                                    extra=("instrument",))
+
 register_target(TargetSpec(
     "vans", "validated Optane-DIMM model, App Direct mode (1 DIMM)",
-    _build_vans, category="vans"))
+    _build_vans, category="vans", allowed=_VANS_ALLOWED))
 register_target(TargetSpec(
     "vans-6dimm", "6 interleaved Optane DIMMs (the paper's full system)",
-    _build_vans, category="vans", defaults={"ndimms": 6}))
+    _build_vans, category="vans", defaults={"ndimms": 6},
+    allowed=_VANS_ALLOWED))
 register_target(TargetSpec(
     "vans-lazy", "VANS with the Section V-C Lazy cache enabled",
-    _build_vans, category="vans", defaults={"lazy_cache": True}))
+    _build_vans, category="vans", defaults={"lazy_cache": True},
+    allowed=_VANS_ALLOWED))
 register_target(TargetSpec(
     "memory-mode", "DRAM DIMMs as a direct-mapped cache over NVRAM",
-    _build_memory_mode, category="vans"))
+    _build_memory_mode, category="vans", allowed=_MEMMODE_ALLOWED))
 register_target(TargetSpec(
     "pmep", "PMEP delay-injection + bandwidth-throttle emulator",
-    _passthrough(PMEPModel)))
+    _passthrough(PMEPModel),
+    allowed=_allowed_params(PMEPModel.__init__, extra=("instrument",))))
 register_target(TargetSpec(
     "quartz", "Quartz epoch-based delay-injection emulator",
-    _passthrough(QuartzModel)))
+    _passthrough(QuartzModel),
+    allowed=_allowed_params(QuartzModel.__init__, extra=("instrument",))))
 register_target(TargetSpec(
     "dramsim2-ddr3", "DRAMSim2-style DDR3-1600 simulator",
-    _passthrough(dramsim2_ddr3)))
+    _passthrough(dramsim2_ddr3), allowed=_SLOWDRAM_ALLOWED))
 register_target(TargetSpec(
     "ramulator-ddr4", "Ramulator-style DDR4-2666 simulator",
-    _passthrough(ramulator_ddr4)))
+    _passthrough(ramulator_ddr4), allowed=_SLOWDRAM_ALLOWED))
 register_target(TargetSpec(
     "ramulator-pcm", "Ramulator PCM plug-in (stretched DDR timings)",
-    _passthrough(ramulator_pcm)))
+    _passthrough(ramulator_pcm), allowed=_SLOWDRAM_ALLOWED))
 register_target(TargetSpec(
     "optane-ref", "digitized Optane measurements (analytic reference)",
-    _build_reference, category="reference", is_system=False))
+    _build_reference, category="reference", is_system=False,
+    allowed=_allowed_params(OptaneReference.__init__)))

@@ -1,0 +1,191 @@
+"""Blocking client for the ``repro-serve`` daemon.
+
+A thin convenience wrapper over the line protocol — a socket, a
+read-buffer, and helpers for each request type.  Because the daemon
+pushes exactly one terminal message (``result``/``error``/``rejected``)
+per submitted request id, the client can run several requests
+concurrently on one connection and match replies by id.
+
+    with ServeClient("127.0.0.1", 7421, tenant="team-a") as client:
+        reply = client.run_experiment("fig1")
+        metrics = reply["results"][0]["metrics"]
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.common.errors import QuotaExceededError, ReproError
+from repro.serve import protocol
+
+
+class ServeError(ReproError):
+    """Terminal ``error`` reply from the daemon; carries its code."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServeClient:
+    """One session against a running daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7421,
+                 tenant: str = "default",
+                 timeout_s: Optional[float] = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.session: Optional[str] = None
+        self.welcome: Dict[str, Any] = {}
+        self._ids = itertools.count(1)
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout_s)
+        self._rfile = self._sock.makefile("rb")
+        #: terminal replies that arrived while waiting for another id
+        self._parked: Dict[Any, Dict[str, Any]] = {}
+        self._hello()
+
+    # -- plumbing --------------------------------------------------------
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        self._sock.sendall(protocol.encode(message))
+
+    def _read_message(self) -> Dict[str, Any]:
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def _hello(self) -> None:
+        self._send({"type": "hello", "tenant": self.tenant})
+        self.welcome = self._read_message()
+        self.session = self.welcome.get("session")
+
+    def _wait_for(self, request_id: Any,
+                  raise_on_error: bool = True) -> Dict[str, Any]:
+        """Read until the terminal reply for ``request_id`` arrives.
+
+        Non-terminal messages (``accepted``) are skipped; terminal
+        replies for *other* ids are parked for their own waiters.
+        """
+        while True:
+            if request_id in self._parked:
+                reply = self._parked.pop(request_id)
+            else:
+                reply = self._read_message()
+                if reply.get("type") == "accepted":
+                    continue
+                if reply.get("id") != request_id:
+                    self._parked[reply.get("id")] = reply
+                    continue
+            if raise_on_error:
+                if reply.get("type") == "rejected":
+                    raise QuotaExceededError(
+                        self.tenant, reply.get("error", "rejected"))
+                if reply.get("type") == "error":
+                    raise ServeError(int(reply.get("code", 1)),
+                                     reply.get("error", "server error"))
+            return reply
+
+    # -- requests --------------------------------------------------------
+
+    def submit_experiment(self, experiment: str, scale: str = "smoke",
+                          seed: Optional[int] = None,
+                          flight: Optional[Dict[str, Any]] = None,
+                          telemetry: Optional[Dict[str, Any]] = None,
+                          faults: Optional[Dict[str, Any]] = None) -> int:
+        """Fire-and-forget submit; returns the request id to wait on."""
+        request_id = next(self._ids)
+        message: Dict[str, Any] = {"type": "run", "id": request_id,
+                                   "experiment": experiment,
+                                   "scale": scale}
+        if seed is not None:
+            message["seed"] = seed
+        if flight is not None:
+            message["flight"] = flight
+        if telemetry is not None:
+            message["telemetry"] = telemetry
+        if faults is not None:
+            message["faults"] = faults
+        self._send(message)
+        return request_id
+
+    def run_experiment(self, experiment: str, scale: str = "smoke",
+                       seed: Optional[int] = None,
+                       flight: Optional[Dict[str, Any]] = None,
+                       telemetry: Optional[Dict[str, Any]] = None,
+                       faults: Optional[Dict[str, Any]] = None,
+                       raise_on_error: bool = True) -> Dict[str, Any]:
+        """Submit a named experiment and block for its result message."""
+        request_id = self.submit_experiment(experiment, scale, seed,
+                                            flight, telemetry, faults)
+        return self.wait(request_id, raise_on_error=raise_on_error)
+
+    def submit_stream(self, target: str,
+                      ops: Iterable[Dict[str, Any]],
+                      overrides: Optional[Dict[str, Any]] = None) -> int:
+        request_id = next(self._ids)
+        self._send({"type": "stream", "id": request_id, "target": target,
+                    "overrides": overrides or {}, "ops": list(ops)})
+        return request_id
+
+    def run_stream(self, target: str, ops: Iterable[Dict[str, Any]],
+                   overrides: Optional[Dict[str, Any]] = None,
+                   raise_on_error: bool = True) -> Dict[str, Any]:
+        """Submit a raw request stream and block for its result."""
+        request_id = self.submit_stream(target, ops, overrides)
+        return self.wait(request_id, raise_on_error=raise_on_error)
+
+    def wait(self, request_id: int,
+             raise_on_error: bool = True) -> Dict[str, Any]:
+        """Block until the terminal reply for a submitted id arrives."""
+        return self._wait_for(request_id, raise_on_error=raise_on_error)
+
+    def _inline(self, mtype: str) -> Dict[str, Any]:
+        request_id = next(self._ids)
+        self._send({"type": mtype, "id": request_id})
+        return self._wait_for(request_id)
+
+    def ping(self) -> bool:
+        return self._inline("ping").get("type") == "pong"
+
+    def stats(self) -> Dict[str, Any]:
+        return self._inline("stats")
+
+    def experiments(self) -> List[Dict[str, Any]]:
+        return self._inline("experiments")["items"]
+
+    def targets(self) -> List[Dict[str, Any]]:
+        return self._inline("targets")["items"]
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._send({"type": "bye"})
+            self._sock.settimeout(5.0)
+            try:
+                while True:
+                    reply = self._read_message()
+                    if reply.get("type") == "goodbye":
+                        break
+            except (ConnectionError, socket.timeout, OSError):
+                pass
+        except OSError:
+            pass
+        finally:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

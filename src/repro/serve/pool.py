@@ -1,0 +1,292 @@
+"""Persistent watchdogged worker pool for the serve daemon.
+
+Unlike the batch runner's process-per-experiment scheduler
+(:func:`repro.experiments.runner._run_parallel`), serving wants workers
+that *stay up*: each worker process enables the target registry's warm
+cache at startup, so consecutive jobs against the same target reuse a
+built system (``build → acquire → run → reset → release``) instead of
+paying construction again.
+
+Each worker is one OS process plus one parent-side watcher thread:
+
+* jobs travel over a private duplex pipe; results come back as
+  ``("ok", payload)`` / ``("reject", {code, error})`` (a
+  :class:`~repro.common.errors.ReproError` — usage-level, message
+  preserved) / ``("error", traceback)`` (crash) / ``("timeout", msg)``;
+* the watcher enforces ``job_timeout_s`` — a wedged worker is
+  terminated and respawned, and the job settles as a timeout;
+* a worker that dies mid-job (OOM-kill, segfault, ``os._exit``) is
+  detected, respawned, and the job settles as an error — the pool's
+  capacity never degrades.
+
+The pool itself does no queueing policy: :class:`SessionScheduler`
+owns fairness/quotas and only submits while :meth:`WorkerPool.free_slots`
+is positive.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+
+#: outcome tuples handed to completion callbacks
+Outcome = Tuple[str, Any]
+
+#: how often watchers re-check liveness/deadlines while polling
+_POLL_S = 0.05
+
+
+def _execute_job(job: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one job inside the worker process; returns a JSON-safe doc.
+
+    Imports live here (not module top level) so the parent can fork
+    workers before the heavyweight experiment modules are loaded.
+    """
+    from repro.experiments import exec as exec_core
+    from repro.experiments.export import result_to_dict
+
+    kind = job.get("kind")
+    if kind == "experiment":
+        from repro.experiments.common import Scale
+        results = exec_core.run_experiment(
+            job["experiment"], Scale(job.get("scale", "smoke")),
+            int(job.get("seed", exec_core.DEFAULT_SEED)),
+            flight=exec_core.make_flight_recorder(job.get("flight")),
+            telemetry=job.get("telemetry"), faults=job.get("faults"),
+            session=job.get("session"))
+        return {"results": [result_to_dict(r) for r in results]}
+    if kind == "stream":
+        stream = exec_core.run_stream(
+            job["target"], job.get("ops", ()),
+            overrides=job.get("overrides"), session=job.get("session"))
+        return {"stream": stream}
+    if kind == "ping":
+        return {"pong": True}
+    if kind == "_test_sleep":          # watchdog diagnostics (tests)
+        time.sleep(float(job.get("seconds", 60.0)))
+        return {"slept": True}
+    if kind == "_test_die":            # crash-respawn diagnostics (tests)
+        import os
+        os._exit(17)
+    raise ReproError(f"unknown job kind {kind!r}")
+
+
+def _worker_main(conn, warm_cache_limit: int) -> None:
+    """Worker-process entry: serve jobs until the pipe closes.
+
+    The warm cache lives *here*, in the worker — a parent-side cache
+    would be useless because systems never cross the process boundary.
+    """
+    from repro import registry
+    if warm_cache_limit > 0:
+        registry.enable_warm_cache(warm_cache_limit)
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError):
+            return
+        if job is None:                # shutdown sentinel
+            conn.close()
+            return
+        try:
+            payload = _execute_job(job)
+            payload["warm_cache"] = registry.warm_cache_stats()
+            message: Outcome = ("ok", payload)
+        except ReproError as exc:
+            message = ("reject", {"code": getattr(exc, "code", 2) or 2,
+                                  "error": str(exc)})
+        except BaseException:
+            message = ("error", traceback.format_exc())
+        try:
+            conn.send(message)
+        except (OSError, BrokenPipeError):
+            return
+
+
+class _Worker:
+    """One pooled process and the parent-side thread that watches it."""
+
+    def __init__(self, pool: "WorkerPool", index: int) -> None:
+        self.pool = pool
+        self.index = index
+        self.jobs: "queue.Queue" = queue.Queue()
+        self.proc = None
+        self.conn = None
+        self._spawn()
+        self.thread = threading.Thread(
+            target=self._loop, name=f"serve-worker-{index}", daemon=True)
+        self.thread.start()
+
+    def _spawn(self) -> None:
+        ctx = self.pool.ctx
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.pool.warm_cache_limit), daemon=True)
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.pool.stats["spawned"] += 1
+
+    def _respawn(self) -> None:
+        try:
+            if self.proc.is_alive():
+                self.proc.terminate()
+            self.proc.join(timeout=5)
+            self.conn.close()
+        except (OSError, ValueError):
+            pass
+        self._spawn()
+        self.pool.stats["respawned"] += 1
+        # the fresh process starts with a cold warm cache by design
+
+    def _loop(self) -> None:
+        while True:
+            item = self.jobs.get()
+            if item is None:
+                self._stop_process()
+                return
+            job, callback, timeout_s = item
+            outcome = self._execute(job, timeout_s)
+            self.pool._settled(self, outcome[0])
+            callback(outcome)
+
+    def _execute(self, job, timeout_s: Optional[float]) -> Outcome:
+        try:
+            self.conn.send(job)
+        except (OSError, BrokenPipeError):
+            self._respawn()
+            try:
+                self.conn.send(job)
+            except (OSError, BrokenPipeError):
+                return ("error", "worker pipe unusable after respawn")
+        deadline = (time.time() + timeout_s) if timeout_s else None
+        while True:
+            try:
+                if self.conn.poll(_POLL_S):
+                    return self.conn.recv()
+            except (EOFError, OSError):
+                exitcode = self.proc.exitcode
+                self._respawn()
+                return ("error",
+                        f"worker died mid-job (exit code {exitcode})")
+            if not self.proc.is_alive():
+                exitcode = self.proc.exitcode
+                self._respawn()
+                return ("error",
+                        f"worker died mid-job (exit code {exitcode})")
+            if deadline is not None and time.time() >= deadline:
+                self._respawn()
+                return ("timeout",
+                        f"job exceeded {timeout_s}s watchdog; "
+                        f"worker terminated and respawned")
+
+    def _stop_process(self) -> None:
+        try:
+            self.conn.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        self.proc.join(timeout=5)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=5)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class WorkerPool:
+    """Fixed-size pool of persistent warm-cache worker processes."""
+
+    def __init__(self, workers: int = 2, warm_cache: int = 8,
+                 job_timeout_s: Optional[float] = None) -> None:
+        from repro.experiments.exec import _mp_context
+        self.ctx = _mp_context()
+        self.warm_cache_limit = warm_cache
+        self.job_timeout_s = job_timeout_s
+        self.stats: Dict[str, int] = {
+            "spawned": 0, "respawned": 0, "completed": 0,
+            "errors": 0, "timeouts": 0, "rejects": 0,
+        }
+        self._lock = threading.Lock()
+        self._workers: List[_Worker] = [
+            _Worker(self, i) for i in range(max(1, workers))]
+        self._idle: List[_Worker] = list(self._workers)
+        self._closed = False
+
+    # -- scheduler interface --------------------------------------------
+
+    def free_slots(self) -> int:
+        with self._lock:
+            return 0 if self._closed else len(self._idle)
+
+    def submit(self, job: Dict[str, Any],
+               callback: Callable[[Outcome], None],
+               timeout_s: Optional[float] = None) -> None:
+        """Hand a job to an idle worker; ``callback(outcome)`` fires on
+        the worker's watcher thread when it settles.  Raises
+        :class:`RuntimeError` when no worker is idle — the scheduler
+        guards with :meth:`free_slots` under its own lock and is the
+        pool's only submitter."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is shut down")
+            if not self._idle:
+                raise RuntimeError("no idle worker")
+            worker = self._idle.pop()
+        worker.jobs.put((job, callback,
+                         self.job_timeout_s if timeout_s is None
+                         else timeout_s))
+
+    def _settled(self, worker: _Worker, status: str) -> None:
+        with self._lock:
+            key = {"ok": "completed", "reject": "rejects",
+                   "timeout": "timeouts"}.get(status, "errors")
+            self.stats[key] += 1
+            if not self._closed:
+                self._idle.append(worker)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def processes_alive(self) -> int:
+        """Live worker processes (0 after a clean shutdown)."""
+        return sum(1 for w in self._workers if w.proc.is_alive())
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            snap = dict(self.stats)
+        snap["workers"] = len(self._workers)
+        snap["idle"] = len(self._idle)
+        snap["alive"] = self.processes_alive()
+        return snap
+
+    def shutdown(self, timeout_s: float = 30.0) -> None:
+        """Stop every worker thread and process; idempotent.
+
+        Jobs already running settle first (their watcher threads finish
+        the in-flight execution before seeing the sentinel), so callers
+        should drain the scheduler before shutting the pool down.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._idle.clear()
+        for worker in self._workers:
+            worker.jobs.put(None)
+        deadline = time.time() + timeout_s
+        for worker in self._workers:
+            worker.thread.join(timeout=max(0.1, deadline - time.time()))
+        for worker in self._workers:
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=5)

@@ -1,0 +1,282 @@
+"""The ``repro-serve`` asyncio daemon.
+
+One process hosts the TCP listener, the :class:`SessionScheduler`, and
+the persistent :class:`WorkerPool`.  Each client connection is a
+session (:mod:`repro.serve.session`); its requests are scheduled onto
+the pool and the results pushed back over the same connection as
+protocol messages (:mod:`repro.serve.protocol`).
+
+Threading model: the asyncio loop owns sockets and sessions; pool
+watcher threads settle jobs and re-enter the loop via
+``call_soon_threadsafe``, so each connection's writes stay serialized
+through its outbound queue.  Shutdown drains the scheduler (in-flight
+work settles, new submits get 429) and then stops the pool — a clean
+exit leaves zero worker processes behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from typing import Any, Dict, Optional
+
+from repro import registry
+from repro.common.errors import QuotaExceededError
+from repro.experiments.exec import DEFAULT_SEED, REGISTRY
+from repro.serve import protocol
+from repro.serve.pool import WorkerPool
+from repro.serve.scheduler import SessionScheduler, TenantQuota
+from repro.serve.session import Session, SessionBook
+from repro.telemetry.manifest import run_manifest
+
+
+class ServeDaemon:
+    """Long-lived simulation service (sessions over JSON lines)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 2, warm_cache: int = 8,
+                 max_active: int = 2, max_queued: int = 8,
+                 job_timeout_s: Optional[float] = None,
+                 seed: int = DEFAULT_SEED) -> None:
+        self.host = host
+        self.port = port
+        self.seed = seed
+        self.pool = WorkerPool(workers=workers, warm_cache=warm_cache,
+                               job_timeout_s=job_timeout_s)
+        self.scheduler = SessionScheduler(
+            self.pool, default_quota=TenantQuota(max_active=max_active,
+                                                 max_queued=max_queued))
+        self.sessions = SessionBook()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self, drain_timeout_s: float = 60.0) -> None:
+        """Graceful stop: no new connections, drain, stop workers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, lambda: self.scheduler.drain(drain_timeout_s))
+        await loop.run_in_executor(None, self.pool.shutdown)
+
+    # -- per-connection handling ----------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        outbox: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
+        sender = asyncio.ensure_future(self._send_loop(outbox, writer))
+        session: Optional[Session] = None
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, OSError):
+                    break
+                if not line:
+                    break
+                try:
+                    message = protocol.decode(line)
+                except protocol.MessageFormatError as exc:
+                    outbox.put_nowait(protocol.encode(
+                        protocol.error_message(2, str(exc))))
+                    continue
+                if session is None and message.get("type") != "hello":
+                    # implicit session for hello-less quick clients
+                    session = self.sessions.open(
+                        str(message.get("tenant", "anon")))
+                session = self._handle_message(message, session, outbox)
+                if session is None:    # bye
+                    break
+        finally:
+            if session is not None:
+                self.sessions.close(session)
+            outbox.put_nowait(None)
+            with contextlib.suppress(Exception):
+                await sender
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _send_loop(self, outbox: "asyncio.Queue",
+                         writer: asyncio.StreamWriter) -> None:
+        while True:
+            payload = await outbox.get()
+            if payload is None:
+                return
+            writer.write(payload)
+            with contextlib.suppress(ConnectionResetError, OSError):
+                await writer.drain()
+
+    # -- message dispatch (runs on the event loop) ----------------------
+
+    def _handle_message(self, message: Dict[str, Any],
+                        session: Optional[Session],
+                        outbox: "asyncio.Queue") -> Optional[Session]:
+        mtype = message.get("type")
+        reply = lambda doc: outbox.put_nowait(protocol.encode(doc))  # noqa: E731
+
+        if mtype == "hello":
+            if session is None:
+                session = self.sessions.open(
+                    str(message.get("tenant", "anon")))
+            quota = self.scheduler.quota_for(session.tenant)
+            reply({"type": "welcome", "protocol": protocol.PROTOCOL,
+                   **session.identity(),
+                   "limits": {"max_active": quota.max_active,
+                              "max_queued": quota.max_queued,
+                              "workers": len(self.pool)}})
+            return session
+        if mtype == "bye":
+            reply({"type": "goodbye", **session.identity()})
+            return None
+        if mtype == "ping":
+            reply({"type": "pong", "id": message.get("id")})
+            return session
+        if mtype == "stats":
+            reply({"type": "stats", "id": message.get("id"),
+                   "scheduler": self.scheduler.snapshot(),
+                   "pool": self.pool.snapshot(),
+                   "sessions": len(self.sessions)})
+            return session
+        if mtype == "experiments":
+            reply({"type": "experiments", "id": message.get("id"),
+                   "items": [{"id": s.id, "section": s.section,
+                              "description": s.description,
+                              "est_cost": s.est_cost,
+                              "targets": list(s.targets)}
+                             for s in REGISTRY.values()]})
+            return session
+        if mtype == "targets":
+            reply({"type": "targets", "id": message.get("id"),
+                   "items": [{"name": n,
+                              "description": registry.spec(n).description,
+                              "category": registry.spec(n).category}
+                             for n in registry.target_names()]})
+            return session
+        if mtype in ("run", "stream"):
+            self._submit(mtype, message, session, outbox)
+            return session
+        reply(protocol.error_message(
+            2, f"unknown message type {mtype!r}", message.get("id")))
+        return session
+
+    def _submit(self, mtype: str, message: Dict[str, Any],
+                session: Session, outbox: "asyncio.Queue") -> None:
+        request_id = message.get("id")
+        identity = session.identity()
+        if mtype == "run":
+            job: Dict[str, Any] = {
+                "kind": "experiment",
+                "experiment": message.get("experiment"),
+                "scale": message.get("scale", "smoke"),
+                "seed": message.get("seed", self.seed),
+                "flight": message.get("flight"),
+                "telemetry": message.get("telemetry"),
+                "faults": message.get("faults"),
+                "session": identity,
+            }
+        else:
+            job = {
+                "kind": "stream",
+                "target": message.get("target"),
+                "overrides": message.get("overrides") or {},
+                "ops": message.get("ops") or [],
+                "session": identity,
+            }
+        loop = self._loop
+
+        def on_settled(outcome) -> None:
+            # pool watcher thread -> event loop
+            loop.call_soon_threadsafe(
+                self._deliver, session, request_id, job, outcome, outbox)
+
+        try:
+            self.scheduler.submit(session.tenant, job, on_settled)
+        except QuotaExceededError as exc:
+            session.rejected += 1
+            outbox.put_nowait(protocol.encode(
+                {"type": "rejected", "id": request_id, "code": exc.code,
+                 "error": str(exc)}))
+            return
+        session.submitted += 1
+        session.in_flight += 1
+        outbox.put_nowait(protocol.encode(
+            {"type": "accepted", "id": request_id}))
+
+    def _deliver(self, session: Session, request_id, job: Dict[str, Any],
+                 outcome, outbox: "asyncio.Queue") -> None:
+        session.in_flight = max(0, session.in_flight - 1)
+        status, payload = outcome
+        if status == "ok":
+            session.completed += 1
+            config = {k: v for k, v in job.items()
+                      if k not in ("session", "ops") and v is not None}
+            config["ops"] = len(job["ops"]) if "ops" in job else None
+            doc: Dict[str, Any] = {
+                "type": "result", "id": request_id, "status": "ok",
+                "manifest": run_manifest(
+                    seed=int(job.get("seed") or self.seed),
+                    config={k: v for k, v in config.items()
+                            if v is not None},
+                    session=session.identity()),
+            }
+            doc.update(payload)
+        elif status == "reject":
+            doc = protocol.error_message(
+                payload.get("code", 2), payload.get("error", ""),
+                request_id)
+        elif status == "timeout":
+            doc = protocol.error_message(1, payload, request_id)
+            doc["timeout"] = True
+        else:
+            doc = protocol.error_message(1, str(payload), request_id)
+        outbox.put_nowait(protocol.encode(doc))
+
+
+@contextlib.contextmanager
+def running_daemon(**kwargs):
+    """Run a :class:`ServeDaemon` on a background thread.
+
+    Yields the daemon with ``daemon.port`` resolved; on exit drains,
+    stops the pool, and joins the thread.  This is what the integration
+    tests and ``repro-serve smoke`` use to host a real daemon inside
+    one process.
+    """
+    daemon = ServeDaemon(**kwargs)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(daemon.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30):
+        raise RuntimeError("serve daemon failed to start")
+    try:
+        yield daemon
+    finally:
+        future = asyncio.run_coroutine_threadsafe(daemon.shutdown(), loop)
+        future.result(timeout=60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()

@@ -1,0 +1,69 @@
+"""Session identity and bookkeeping for the serve daemon.
+
+A session is one client connection's unit of attribution: everything it
+runs carries ``{"session": ..., "tenant": ...}`` on
+``ExperimentResult.session`` and inside the run manifest — and nowhere
+in the simulation payload, which is what keeps served results
+bit-identical to batch runs of the same ``(experiment, scale, seed)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class Session:
+    """One connected client's identity and live counters."""
+
+    id: str
+    tenant: str
+    #: requests accepted, completed, and rejected on this session
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    #: jobs currently queued or running for this session
+    in_flight: int = 0
+
+    def identity(self) -> Dict[str, object]:
+        """The doc stamped onto results and manifests."""
+        return {"session": self.id, "tenant": self.tenant}
+
+
+class SessionBook:
+    """Allocates session ids and tracks the live set (thread-safe: the
+    asyncio loop opens/closes sessions while pool watcher threads
+    complete jobs)."""
+
+    def __init__(self, prefix: str = "s") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+        self._live: Dict[str, Session] = {}
+
+    def open(self, tenant: str) -> Session:
+        with self._lock:
+            session = Session(f"{self._prefix}-{next(self._counter):04d}",
+                              tenant)
+            self._live[session.id] = session
+            return session
+
+    def close(self, session: Session) -> None:
+        with self._lock:
+            self._live.pop(session.id, None)
+
+    def get(self, session_id: str) -> Optional[Session]:
+        with self._lock:
+            return self._live.get(session_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._live)
+
+    def in_flight(self) -> int:
+        """Jobs queued or running across every live session."""
+        with self._lock:
+            return sum(s.in_flight for s in self._live.values())

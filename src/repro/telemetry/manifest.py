@@ -79,7 +79,9 @@ def git_info(cwd: Optional[str] = None) -> Dict[str, object]:
 def run_manifest(*, seed: Optional[int] = None,
                  config: Optional[Mapping[str, Any]] = None,
                  argv: Optional[list] = None,
-                 cwd: Optional[str] = None) -> Dict[str, object]:
+                 cwd: Optional[str] = None,
+                 session: Optional[Mapping[str, Any]] = None
+                 ) -> Dict[str, object]:
     """Build a manifest for the current process/run.
 
     Args:
@@ -89,6 +91,9 @@ def run_manifest(*, seed: Optional[int] = None,
             overrides); recorded verbatim *and* content-hashed.
         argv: command line to record (defaults to ``sys.argv``).
         cwd: directory whose git state to record.
+        session: serving-session identity (``repro-serve`` session id,
+            tenant, daemon instance) so served artifacts stay
+            attributable to the session that produced them.
     """
     manifest: Dict[str, object] = {
         "schema": MANIFEST_SCHEMA,
@@ -110,6 +115,8 @@ def run_manifest(*, seed: Optional[int] = None,
     if config is not None:
         manifest["config"] = dict(config)
         manifest["config_hash"] = config_hash(dict(config))
+    if session is not None:
+        manifest["session"] = dict(session)
     return manifest
 
 

@@ -24,7 +24,8 @@ def load_example(name: str):
 def test_examples_directory_complete():
     names = {p.stem for p in EXAMPLES.glob("*.py")}
     assert {"quickstart", "characterize_nvram", "design_space",
-            "cloud_optimization", "persistent_log"} <= names
+            "cloud_optimization", "persistent_log",
+            "serve_client"} <= names
 
 
 def test_persistent_log_example(capsys):
@@ -66,3 +67,13 @@ def test_characterize_example_pieces(capsys):
     config = module.mystery_config()
     assert config.dimm.rmw.capacity_bytes == 32 * 1024
     assert config.dimm.ait.capacity_bytes == 8 * 1024 * 1024
+
+
+def test_serve_client_example(capsys):
+    module = load_example("serve_client")
+    module.main()
+    out = capsys.readouterr().out
+    assert "bit-identical" not in out      # the assert inside held
+    assert "warm cache after rerun" in out
+    assert "rejected (code 429)" in out
+    assert "shut down cleanly" in out
