@@ -46,6 +46,8 @@ from repro.faults.report import fault_report
 from repro.flight import FlightRecord, FlightRecorder, breakdowns
 from repro.flight import session as flight_session
 from repro.instrument import Collection
+from repro.progress import NULL_PROGRESS, ProgressReporter  # noqa: F401  (re-export)
+from repro.progress import session as progress_session
 from repro.target import TargetSystem
 from repro.telemetry import TelemetrySampler
 from repro.telemetry import session as telemetry_session
@@ -187,7 +189,8 @@ def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
                    flight: Optional[FlightRecorder] = None,
                    telemetry: Optional[Mapping[str, object]] = None,
                    faults: Optional[Mapping[str, object]] = None,
-                   session: Optional[Mapping[str, object]] = None
+                   session: Optional[Mapping[str, object]] = None,
+                   progress: Optional[ProgressReporter] = None
                    ) -> List[ExperimentResult]:
     """Run one experiment id; returns its results as a flat list.
 
@@ -219,6 +222,12 @@ def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
     ``session`` is serving identity (session/tenant ids) recorded onto
     ``result.session`` — and nowhere inside the simulation payload, so
     a served run stays bit-identical to the batch equivalent.
+
+    ``progress`` is a live :class:`~repro.progress.ProgressReporter`
+    (the caller owns its ``emit`` channel — the serve worker pool wires
+    it to the worker pipe).  Frames are advisory and never enter the
+    result payload: a run with a reporter attached is byte-identical to
+    one without.
     """
     spec = REGISTRY.get(exp_id)
     if spec is None:
@@ -237,7 +246,9 @@ def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
         injector = FaultInjector(plan, checker=PersistenceChecker())
     fa_session = (faults_session(injector) if injector is not None
                   else nullcontext())
-    with fl_session, tel_session, fa_session:
+    with fl_session, tel_session, fa_session, progress_session(progress):
+        if progress is not None:
+            progress.phase(exp_id)
         with Collection() as collection:
             out = spec.run(scale)
             results = [out] if isinstance(out, ExperimentResult) else list(out)
@@ -275,7 +286,8 @@ _STREAM_OPS = ("read", "write", "fence")
 
 def run_stream(target: str, ops: Sequence[Mapping[str, object]],
                overrides: Optional[Mapping[str, object]] = None,
-               session: Optional[Mapping[str, object]] = None
+               session: Optional[Mapping[str, object]] = None,
+               progress: Optional[ProgressReporter] = None
                ) -> Dict[str, object]:
     """Drive a registry target with a raw request stream.
 
@@ -290,7 +302,9 @@ def run_stream(target: str, ops: Sequence[Mapping[str, object]],
     Returns a JSON-safe summary: per-op counts, final simulated time,
     cumulative latency, and the target's instrumentation snapshot.
     """
-    with Collection() as collection:
+    with progress_session(progress), Collection() as collection:
+        if progress is not None:
+            progress.phase(f"stream:{target}")
         system = registry.acquire(target, **dict(overrides or {}))
         now = 0
         counts = {op: 0 for op in _STREAM_OPS}

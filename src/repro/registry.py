@@ -49,6 +49,8 @@ from repro.faults.injector import current as current_faults
 from repro.flight.recorder import NULL_FLIGHT
 from repro.flight.recorder import current as current_flight
 from repro.instrument import NULL_BUS, InstrumentBus, announce
+from repro.progress import TelemetryFanout
+from repro.progress import current as current_progress
 from repro.reference import OptaneReference
 from repro.target import TargetSystem
 from repro.telemetry.sampler import current as current_telemetry
@@ -149,6 +151,20 @@ def _attach_session(system: Any) -> Any:
     if telemetry.enabled and isinstance(system, TargetSystem):
         telemetry.attach(system)
         system.telemetry = telemetry
+    progress = current_progress()
+    if progress.enabled and isinstance(system, TargetSystem):
+        # Progress rides the telemetry tick seam: the reporter (or a
+        # fanout of sampler + reporter when both sessions are active)
+        # is installed instance-side, so every completed request's
+        # sim-time tick also advances the progress frames.  Frames are
+        # advisory — the sampler still sees the identical tick
+        # sequence, and release() pops the instance attribute, so
+        # warm-cache eligibility and bit-identity are unaffected.
+        progress.attach(system)
+        if telemetry.enabled:
+            system.telemetry = TelemetryFanout(telemetry, progress)
+        else:
+            system.telemetry = progress
     faults = current_faults()
     if faults.enabled and not faults.published and not faults.plan.empty:
         # Publish the injection counters onto the first instrumented

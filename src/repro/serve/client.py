@@ -16,7 +16,8 @@ from __future__ import annotations
 import itertools
 import json
 import socket
-from typing import Any, Dict, Iterable, List, Optional
+from typing import (Any, Callable, Dict, Iterable, Iterator, List,
+                    Optional)
 
 from repro.common.errors import QuotaExceededError, ReproError
 from repro.serve import protocol
@@ -47,6 +48,10 @@ class ServeClient:
         self._rfile = self._sock.makefile("rb")
         #: terminal replies that arrived while waiting for another id
         self._parked: Dict[Any, Dict[str, Any]] = {}
+        #: progress callbacks by request id (frames are never parked —
+        #: they are dispatched the moment they are read off the socket)
+        self._progress_handlers: Dict[Any, Callable[[Dict[str, Any]],
+                                                    None]] = {}
         self._hello()
 
     # -- plumbing --------------------------------------------------------
@@ -69,8 +74,11 @@ class ServeClient:
                   raise_on_error: bool = True) -> Dict[str, Any]:
         """Read until the terminal reply for ``request_id`` arrives.
 
-        Non-terminal messages (``accepted``) are skipped; terminal
-        replies for *other* ids are parked for their own waiters.
+        Non-terminal messages are never parked: ``accepted`` is
+        skipped, and ``progress`` frames are dispatched to their
+        request's ``on_progress`` handler immediately (regardless of
+        which id this call is waiting on), so a slow job streams live
+        updates even while the caller blocks on a different request.
         """
         while True:
             if request_id in self._parked:
@@ -79,9 +87,14 @@ class ServeClient:
                 reply = self._read_message()
                 if reply.get("type") == "accepted":
                     continue
+                if reply.get("type") == "progress":
+                    self._dispatch_progress(reply)
+                    continue
                 if reply.get("id") != request_id:
                     self._parked[reply.get("id")] = reply
                     continue
+            if reply.get("id") == request_id:
+                self._progress_handlers.pop(request_id, None)
             if raise_on_error:
                 if reply.get("type") == "rejected":
                     raise QuotaExceededError(
@@ -91,14 +104,30 @@ class ServeClient:
                                      reply.get("error", "server error"))
             return reply
 
+    def _dispatch_progress(self, frame: Dict[str, Any]) -> None:
+        handler = self._progress_handlers.get(frame.get("id"))
+        if handler is not None:
+            handler(frame)
+
     # -- requests --------------------------------------------------------
 
     def submit_experiment(self, experiment: str, scale: str = "smoke",
                           seed: Optional[int] = None,
                           flight: Optional[Dict[str, Any]] = None,
                           telemetry: Optional[Dict[str, Any]] = None,
-                          faults: Optional[Dict[str, Any]] = None) -> int:
-        """Fire-and-forget submit; returns the request id to wait on."""
+                          faults: Optional[Dict[str, Any]] = None,
+                          progress: Any = None,
+                          on_progress: Optional[
+                              Callable[[Dict[str, Any]], None]] = None
+                          ) -> int:
+        """Fire-and-forget submit; returns the request id to wait on.
+
+        ``progress`` opts the job into streaming progress frames —
+        ``True`` for defaults or a dict of reporter knobs
+        (``interval_ps``, ``min_wall_s``); ``on_progress`` receives
+        each frame while :meth:`wait` blocks.  Passing only
+        ``on_progress`` implies ``progress=True``.
+        """
         request_id = next(self._ids)
         message: Dict[str, Any] = {"type": "run", "id": request_id,
                                    "experiment": experiment,
@@ -111,6 +140,13 @@ class ServeClient:
             message["telemetry"] = telemetry
         if faults is not None:
             message["faults"] = faults
+        if progress is None and on_progress is not None:
+            progress = True
+        if progress:
+            message["progress"] = (progress if isinstance(progress, dict)
+                                   else True)
+        if on_progress is not None:
+            self._progress_handlers[request_id] = on_progress
         self._send(message)
         return request_id
 
@@ -119,26 +155,89 @@ class ServeClient:
                        flight: Optional[Dict[str, Any]] = None,
                        telemetry: Optional[Dict[str, Any]] = None,
                        faults: Optional[Dict[str, Any]] = None,
-                       raise_on_error: bool = True) -> Dict[str, Any]:
+                       raise_on_error: bool = True,
+                       progress: Any = None,
+                       on_progress: Optional[
+                           Callable[[Dict[str, Any]], None]] = None
+                       ) -> Dict[str, Any]:
         """Submit a named experiment and block for its result message."""
-        request_id = self.submit_experiment(experiment, scale, seed,
-                                            flight, telemetry, faults)
+        request_id = self.submit_experiment(
+            experiment, scale, seed, flight, telemetry, faults,
+            progress=progress, on_progress=on_progress)
         return self.wait(request_id, raise_on_error=raise_on_error)
 
     def submit_stream(self, target: str,
                       ops: Iterable[Dict[str, Any]],
-                      overrides: Optional[Dict[str, Any]] = None) -> int:
+                      overrides: Optional[Dict[str, Any]] = None,
+                      progress: Any = None,
+                      on_progress: Optional[
+                          Callable[[Dict[str, Any]], None]] = None
+                      ) -> int:
         request_id = next(self._ids)
-        self._send({"type": "stream", "id": request_id, "target": target,
-                    "overrides": overrides or {}, "ops": list(ops)})
+        message: Dict[str, Any] = {"type": "stream", "id": request_id,
+                                   "target": target,
+                                   "overrides": overrides or {},
+                                   "ops": list(ops)}
+        if progress is None and on_progress is not None:
+            progress = True
+        if progress:
+            message["progress"] = (progress if isinstance(progress, dict)
+                                   else True)
+        if on_progress is not None:
+            self._progress_handlers[request_id] = on_progress
+        self._send(message)
         return request_id
 
     def run_stream(self, target: str, ops: Iterable[Dict[str, Any]],
                    overrides: Optional[Dict[str, Any]] = None,
-                   raise_on_error: bool = True) -> Dict[str, Any]:
+                   raise_on_error: bool = True,
+                   progress: Any = None,
+                   on_progress: Optional[
+                       Callable[[Dict[str, Any]], None]] = None
+                   ) -> Dict[str, Any]:
         """Submit a raw request stream and block for its result."""
-        request_id = self.submit_stream(target, ops, overrides)
+        request_id = self.submit_stream(target, ops, overrides,
+                                        progress=progress,
+                                        on_progress=on_progress)
         return self.wait(request_id, raise_on_error=raise_on_error)
+
+    def follow(self, request_id: int,
+               raise_on_error: bool = True
+               ) -> Iterator[Dict[str, Any]]:
+        """Iterate a submitted request's messages as they arrive.
+
+        Yields every ``progress`` frame for ``request_id`` and finally
+        the terminal reply (its ``type`` is ``result``/``error``/
+        ``rejected``), then stops.  Frames for *other* requests still
+        reach their own ``on_progress`` handlers; other requests'
+        terminal replies are parked as usual.
+        """
+        while True:
+            if request_id in self._parked:
+                reply = self._parked.pop(request_id)
+            else:
+                reply = self._read_message()
+                if reply.get("type") == "accepted":
+                    continue
+                if reply.get("type") == "progress":
+                    if reply.get("id") == request_id:
+                        yield reply
+                    else:
+                        self._dispatch_progress(reply)
+                    continue
+                if reply.get("id") != request_id:
+                    self._parked[reply.get("id")] = reply
+                    continue
+            self._progress_handlers.pop(request_id, None)
+            if raise_on_error:
+                if reply.get("type") == "rejected":
+                    raise QuotaExceededError(
+                        self.tenant, reply.get("error", "rejected"))
+                if reply.get("type") == "error":
+                    raise ServeError(int(reply.get("code", 1)),
+                                     reply.get("error", "server error"))
+            yield reply
+            return
 
     def wait(self, request_id: int,
              raise_on_error: bool = True) -> Dict[str, Any]:
@@ -155,6 +254,15 @@ class ServeClient:
 
     def stats(self) -> Dict[str, Any]:
         return self._inline("stats")
+
+    def metrics(self, format: str = "json") -> Any:
+        """Daemon metrics: a dict (``json``) or exposition text
+        (``prometheus``)."""
+        request_id = next(self._ids)
+        self._send({"type": "metrics", "id": request_id,
+                    "format": format})
+        reply = self._wait_for(request_id)
+        return reply["body"] if format == "prometheus" else reply["data"]
 
     def experiments(self) -> List[Dict[str, Any]]:
         return self._inline("experiments")["items"]

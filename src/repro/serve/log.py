@@ -1,0 +1,97 @@
+"""Structured logging for the serve daemon.
+
+One event per line, machine-parseable when asked (``--log-json``),
+human-scannable otherwise.  Every event carries whatever correlation
+fields the call site knows — ``session``, ``tenant``, ``job``,
+``request_id``, ``worker_pid`` — threaded from accept through schedule,
+dispatch, progress, and result, so one ``grep job=j-0042`` (or a jq
+filter on the JSON form) reconstructs a job's whole life.
+
+This is deliberately not :mod:`logging`: the daemon needs exactly one
+sink, level filtering, and two render modes; a 60-line logger with no
+global registry keeps tests hermetic (each daemon owns its logger) and
+avoids stdlib handler/config interference with embedding applications.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional, TextIO
+
+#: level name -> numeric rank (stdlib-compatible ordering)
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30,
+                          "error": 40, "off": 100}
+
+
+class ServeLog:
+    """Leveled JSON-lines / plain-text event logger.
+
+    Args:
+        level: minimum level emitted (``"off"`` silences everything —
+            the default for in-process harness daemons, so tests stay
+            quiet unless they opt in).
+        json_lines: render events as one JSON object per line instead
+            of ``key=value`` text.
+        stream: destination (defaults to stderr, the operational
+            convention — stdout stays free for CLI results).
+    """
+
+    def __init__(self, level: str = "off", json_lines: bool = False,
+                 stream: Optional[TextIO] = None) -> None:
+        self.level = LEVELS.get(str(level).lower(), LEVELS["info"])
+        self.json_lines = bool(json_lines)
+        self._stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+
+    def enabled_for(self, level: str) -> bool:
+        return LEVELS.get(level, 20) >= self.level
+
+    # -- emission --------------------------------------------------------
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        """Emit one event; unknown/dropping levels are a cheap no-op.
+
+        Fields with value ``None`` are dropped so call sites can pass
+        optional correlation ids unconditionally.
+        """
+        if LEVELS.get(level, 20) < self.level:
+            return
+        doc: Dict[str, Any] = {
+            "ts": round(time.time(), 3),
+            "level": level,
+            "event": event,
+        }
+        doc.update((k, v) for k, v in fields.items() if v is not None)
+        if self.json_lines:
+            line = json.dumps(doc, sort_keys=False, default=str,
+                              separators=(",", ":"))
+        else:
+            extras = " ".join(f"{k}={doc[k]}" for k in doc
+                              if k not in ("ts", "level", "event"))
+            line = f"[{doc['ts']:.3f}] {level.upper():7s} {event}" + \
+                   (f" {extras}" if extras else "")
+        with self._lock:
+            try:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                pass                     # closed stream: logging never raises
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+
+#: default silent logger (harness daemons that never configured one)
+NULL_LOG = ServeLog(level="off")

@@ -13,6 +13,11 @@ Each worker is one OS process plus one parent-side watcher thread:
   ``("ok", payload)`` / ``("reject", {code, error})`` (a
   :class:`~repro.common.errors.ReproError` — usage-level, message
   preserved) / ``("error", traceback)`` (crash) / ``("timeout", msg)``;
+* a job whose spec carries a ``"progress"`` entry streams non-terminal
+  ``("progress", frame)`` tuples over the same pipe while it runs (a
+  :class:`~repro.progress.ProgressReporter` inside the worker emits
+  them); the watcher hands each frame to the submitter's
+  ``on_progress`` callback and keeps waiting for the terminal outcome;
 * the watcher enforces ``job_timeout_s`` — a wedged worker is
   terminated and respawned, and the job settles as a timeout;
 * a worker that dies mid-job (OOM-kill, segfault, ``os._exit``) is
@@ -33,6 +38,7 @@ import traceback
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import ReproError
+from repro.engine.stats import Histogram
 
 #: outcome tuples handed to completion callbacks
 Outcome = Tuple[str, Any]
@@ -41,8 +47,28 @@ Outcome = Tuple[str, Any]
 _POLL_S = 0.05
 
 
-def _execute_job(job: Dict[str, Any]) -> Dict[str, Any]:
+def _make_reporter(job: Dict[str, Any],
+                   emit: Callable[[Dict[str, Any]], None]):
+    """A :class:`ProgressReporter` for the job's ``progress`` spec, or
+    ``None`` (the zero-cost default) when the client didn't ask."""
+    spec = job.get("progress")
+    if not spec:                       # absent / False / null: zero-cost
+        return None
+    from repro.progress import ProgressReporter
+    kwargs = dict(spec) if isinstance(spec, dict) else {}
+    allowed = {"interval_ps", "min_wall_s"}
+    return ProgressReporter(
+        emit=emit,
+        **{k: v for k, v in kwargs.items() if k in allowed})
+
+
+def _execute_job(job: Dict[str, Any],
+                 emit_progress: Callable[[Dict[str, Any]], None]
+                 ) -> Dict[str, Any]:
     """Run one job inside the worker process; returns a JSON-safe doc.
+
+    ``emit_progress`` ships one non-terminal progress frame up the
+    worker pipe; it is only exercised when the job asked for progress.
 
     Imports live here (not module top level) so the parent can fork
     workers before the heavyweight experiment modules are loaded.
@@ -58,12 +84,14 @@ def _execute_job(job: Dict[str, Any]) -> Dict[str, Any]:
             int(job.get("seed", exec_core.DEFAULT_SEED)),
             flight=exec_core.make_flight_recorder(job.get("flight")),
             telemetry=job.get("telemetry"), faults=job.get("faults"),
-            session=job.get("session"))
+            session=job.get("session"),
+            progress=_make_reporter(job, emit_progress))
         return {"results": [result_to_dict(r) for r in results]}
     if kind == "stream":
         stream = exec_core.run_stream(
             job["target"], job.get("ops", ()),
-            overrides=job.get("overrides"), session=job.get("session"))
+            overrides=job.get("overrides"), session=job.get("session"),
+            progress=_make_reporter(job, emit_progress))
         return {"stream": stream}
     if kind == "ping":
         return {"pong": True}
@@ -82,9 +110,21 @@ def _worker_main(conn, warm_cache_limit: int) -> None:
     The warm cache lives *here*, in the worker — a parent-side cache
     would be useless because systems never cross the process boundary.
     """
+    import os
+
     from repro import registry
     if warm_cache_limit > 0:
         registry.enable_warm_cache(warm_cache_limit)
+    pid = os.getpid()
+
+    def emit_progress(frame: Dict[str, Any]) -> None:
+        # non-terminal frame; losing one (dead parent) is never fatal —
+        # the terminal send below will notice the broken pipe
+        try:
+            conn.send(("progress", {**frame, "worker_pid": pid}))
+        except (OSError, BrokenPipeError, ValueError):
+            pass
+
     while True:
         try:
             job = conn.recv()
@@ -94,8 +134,9 @@ def _worker_main(conn, warm_cache_limit: int) -> None:
             conn.close()
             return
         try:
-            payload = _execute_job(job)
+            payload = _execute_job(job, emit_progress)
             payload["warm_cache"] = registry.warm_cache_stats()
+            payload["worker_pid"] = pid
             message: Outcome = ("ok", payload)
         except ReproError as exc:
             message = ("reject", {"code": getattr(exc, "code", 2) or 2,
@@ -117,6 +158,12 @@ class _Worker:
         self.jobs: "queue.Queue" = queue.Queue()
         self.proc = None
         self.conn = None
+        #: True while a job is executing (read under the pool lock for
+        #: the metrics snapshot; written only by this watcher thread)
+        self.busy = False
+        self.jobs_done = 0
+        #: last cumulative warm-cache stats doc this worker reported
+        self.warm_cache: Dict[str, int] = {}
         self._spawn()
         self.thread = threading.Thread(
             target=self._loop, name=f"serve-worker-{index}", daemon=True)
@@ -144,6 +191,7 @@ class _Worker:
         self._spawn()
         self.pool.stats["respawned"] += 1
         # the fresh process starts with a cold warm cache by design
+        self.warm_cache = {}
 
     def _loop(self) -> None:
         while True:
@@ -151,12 +199,18 @@ class _Worker:
             if item is None:
                 self._stop_process()
                 return
-            job, callback, timeout_s = item
-            outcome = self._execute(job, timeout_s)
-            self.pool._settled(self, outcome[0])
+            job, callback, timeout_s, on_progress = item
+            self.busy = True
+            started = time.monotonic()
+            outcome = self._execute(job, timeout_s, on_progress)
+            self.busy = False
+            self.pool._settled(self, outcome[0],
+                               time.monotonic() - started)
             callback(outcome)
 
-    def _execute(self, job, timeout_s: Optional[float]) -> Outcome:
+    def _execute(self, job, timeout_s: Optional[float],
+                 on_progress: Optional[Callable[[Dict[str, Any]], None]]
+                 ) -> Outcome:
         try:
             self.conn.send(job)
         except (OSError, BrokenPipeError):
@@ -169,7 +223,23 @@ class _Worker:
         while True:
             try:
                 if self.conn.poll(_POLL_S):
-                    return self.conn.recv()
+                    message = self.conn.recv()
+                    if message and message[0] == "progress":
+                        # non-terminal frame: forward and keep waiting
+                        # (the watchdog deadline is the job's wall
+                        # budget — progress does not extend it)
+                        if on_progress is not None:
+                            try:
+                                on_progress(message[1])
+                            except Exception:
+                                pass
+                        continue
+                    if message and message[0] == "ok":
+                        payload = message[1]
+                        if isinstance(payload, dict) and \
+                                "warm_cache" in payload:
+                            self.warm_cache = dict(payload["warm_cache"])
+                    return message
             except (EOFError, OSError):
                 exitcode = self.proc.exitcode
                 self._respawn()
@@ -214,6 +284,10 @@ class WorkerPool:
             "spawned": 0, "respawned": 0, "completed": 0,
             "errors": 0, "timeouts": 0, "rejects": 0,
         }
+        self._started = time.monotonic()
+        #: settled-job wall time in milliseconds (drives the
+        #: ``repro_serve_job_wall_seconds`` summary series)
+        self._job_ms = Histogram("pool.job_ms")
         self._lock = threading.Lock()
         self._workers: List[_Worker] = [
             _Worker(self, i) for i in range(max(1, workers))]
@@ -228,9 +302,13 @@ class WorkerPool:
 
     def submit(self, job: Dict[str, Any],
                callback: Callable[[Outcome], None],
-               timeout_s: Optional[float] = None) -> None:
+               timeout_s: Optional[float] = None,
+               on_progress: Optional[Callable[[Dict[str, Any]], None]]
+               = None) -> None:
         """Hand a job to an idle worker; ``callback(outcome)`` fires on
-        the worker's watcher thread when it settles.  Raises
+        the worker's watcher thread when it settles, and
+        ``on_progress(frame)`` fires on the same thread for every
+        non-terminal progress frame the job emits.  Raises
         :class:`RuntimeError` when no worker is idle — the scheduler
         guards with :meth:`free_slots` under its own lock and is the
         pool's only submitter."""
@@ -242,13 +320,16 @@ class WorkerPool:
             worker = self._idle.pop()
         worker.jobs.put((job, callback,
                          self.job_timeout_s if timeout_s is None
-                         else timeout_s))
+                         else timeout_s, on_progress))
 
-    def _settled(self, worker: _Worker, status: str) -> None:
+    def _settled(self, worker: _Worker, status: str,
+                 wall_s: float) -> None:
         with self._lock:
             key = {"ok": "completed", "reject": "rejects",
                    "timeout": "timeouts"}.get(status, "errors")
             self.stats[key] += 1
+            worker.jobs_done += 1
+            self._job_ms.record(int(wall_s * 1000))
             if not self._closed:
                 self._idle.append(worker)
 
@@ -261,12 +342,35 @@ class WorkerPool:
         """Live worker processes (0 after a clean shutdown)."""
         return sum(1 for w in self._workers if w.proc.is_alive())
 
-    def snapshot(self) -> Dict[str, int]:
+    def snapshot(self) -> Dict[str, Any]:
+        """One internally consistent view of the pool.
+
+        Everything — outcome counters, idle/busy occupancy, per-worker
+        states, the merged warm-cache stats, and the job wall-time
+        histogram — is read under one acquisition of the pool lock, so
+        a ``stats``/``metrics`` reply can never show e.g. more busy
+        workers than settled jobs explain.  ``uptime_s`` comes from a
+        monotonic start time, immune to wall-clock steps.
+        """
         with self._lock:
-            snap = dict(self.stats)
-        snap["workers"] = len(self._workers)
-        snap["idle"] = len(self._idle)
-        snap["alive"] = self.processes_alive()
+            snap: Dict[str, Any] = dict(self.stats)
+            snap["workers"] = len(self._workers)
+            snap["idle"] = len(self._idle)
+            snap["busy"] = sum(1 for w in self._workers if w.busy)
+            snap["alive"] = sum(1 for w in self._workers
+                                if w.proc.is_alive())
+            snap["uptime_s"] = time.monotonic() - self._started
+            snap["job_ms"] = self._job_ms.as_stats()
+            warm: Dict[str, int] = {}
+            for worker in self._workers:
+                for key, value in worker.warm_cache.items():
+                    warm[key] = warm.get(key, 0) + int(value)
+            snap["warm_cache"] = warm
+            snap["worker_states"] = [
+                {"index": w.index, "pid": w.proc.pid,
+                 "alive": w.proc.is_alive(), "busy": w.busy,
+                 "jobs_done": w.jobs_done}
+                for w in self._workers]
         return snap
 
     def shutdown(self, timeout_s: float = 30.0) -> None:

@@ -27,9 +27,15 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
 from repro.common.errors import QuotaExceededError
+
+#: dispatch-log retention on a long-lived daemon: the log is fairness
+#: *evidence*, not an audit trail, so it is a bounded deque — recent
+#: interleavings stay inspectable while memory stays flat.  The
+#: all-time count lives in ``stats["dispatch_log_total"]``.
+DISPATCH_LOG_CAP = 1024
 
 
 @dataclass(frozen=True)
@@ -47,12 +53,14 @@ class SessionScheduler:
     """Packs session jobs onto a bounded worker pool, fairly."""
 
     def __init__(self, pool, default_quota: TenantQuota = TenantQuota(),
-                 quotas: Optional[Dict[str, TenantQuota]] = None) -> None:
+                 quotas: Optional[Dict[str, TenantQuota]] = None,
+                 dispatch_log_cap: int = DISPATCH_LOG_CAP) -> None:
         self._pool = pool
         self._default_quota = default_quota
         self._quotas = dict(quotas or {})
         self._lock = threading.RLock()
-        self._queues: Dict[str, Deque[Tuple[Any, Callable]]] = {}
+        self._queues: Dict[str, Deque[Tuple[Any, Callable,
+                                            Optional[Callable]]]] = {}
         #: round-robin rotation of tenant names with queued work
         self._rotation: Deque[str] = deque()
         self._active: Dict[str, int] = {}
@@ -61,8 +69,13 @@ class SessionScheduler:
         self._idle.set()
         self.stats: Dict[str, int] = {"submitted": 0, "dispatched": 0,
                                       "completed": 0, "rejected": 0}
-        #: tenant name per dispatch, in order (fairness evidence)
-        self.dispatch_log: List[str] = []
+        #: tenant name per dispatch, most recent ``dispatch_log_cap``
+        #: entries (fairness evidence; bounded so a long-lived daemon's
+        #: memory stays flat — ``dispatch_log_total`` keeps counting)
+        self.dispatch_log: Deque[str] = deque(maxlen=dispatch_log_cap)
+        self.dispatch_log_total = 0
+        #: all-time dispatches per tenant (fairness series in metrics)
+        self.dispatched_by_tenant: Dict[str, int] = {}
 
     def quota_for(self, tenant: str) -> TenantQuota:
         return self._quotas.get(tenant, self._default_quota)
@@ -74,9 +87,12 @@ class SessionScheduler:
     # -- submission ------------------------------------------------------
 
     def submit(self, tenant: str, job: Any,
-               callback: Callable[[Tuple[str, Any]], None]) -> None:
+               callback: Callable[[Tuple[str, Any]], None],
+               on_progress: Optional[Callable[[Any], None]] = None
+               ) -> None:
         """Queue a job for ``tenant``; ``callback(outcome)`` fires when
-        the pool settles it.
+        the pool settles it, and ``on_progress(frame)`` (when given)
+        fires for every non-terminal progress frame the job streams.
 
         Raises :class:`QuotaExceededError` (``code`` 429) when the
         tenant's queue is full or the scheduler is draining — the
@@ -94,7 +110,7 @@ class SessionScheduler:
                 raise QuotaExceededError(
                     tenant, f"queue full ({quota.max_queued} deep; "
                             f"{self._active.get(tenant, 0)} running)")
-            q.append((job, callback))
+            q.append((job, callback, on_progress))
             if tenant not in self._rotation:
                 self._rotation.append(tenant)
             self.stats["submitted"] += 1
@@ -120,14 +136,24 @@ class SessionScheduler:
                 if self._active.get(tenant, 0) >= \
                         self.quota_for(tenant).max_active:
                     continue
-                job, callback = q.popleft()
+                job, callback, on_progress = q.popleft()
                 if not q:
                     self._drop_from_rotation(tenant)
                 self._active[tenant] = self._active.get(tenant, 0) + 1
                 self.stats["dispatched"] += 1
                 self.dispatch_log.append(tenant)
-                self._pool.submit(
-                    job, self._make_done(tenant, callback))
+                self.dispatch_log_total += 1
+                self.dispatched_by_tenant[tenant] = \
+                    self.dispatched_by_tenant.get(tenant, 0) + 1
+                if on_progress is None:
+                    # two-argument form keeps every pool stand-in
+                    # (tests, fakes) compatible
+                    self._pool.submit(
+                        job, self._make_done(tenant, callback))
+                else:
+                    self._pool.submit(
+                        job, self._make_done(tenant, callback),
+                        on_progress=on_progress)
                 progressed = True
                 if self._pool.free_slots() <= 0:
                     return
@@ -175,6 +201,12 @@ class SessionScheduler:
                 "active": sum(self._active.values()),
                 "tenants": sorted(set(self._queues) | set(self._active)),
                 "draining": self._draining,
+                "dispatch_log_total": self.dispatch_log_total,
+                "queued_by_tenant": {t: len(q) for t, q
+                                     in self._queues.items() if q},
+                "active_by_tenant": {t: n for t, n
+                                     in self._active.items() if n},
+                "dispatched_by_tenant": dict(self.dispatched_by_tenant),
             }
 
     def drain(self, timeout_s: Optional[float] = None) -> bool:

@@ -25,6 +25,9 @@ from repro import registry
 from repro.common.errors import QuotaExceededError
 from repro.experiments.exec import DEFAULT_SEED, REGISTRY
 from repro.serve import protocol
+from repro.serve.log import NULL_LOG, ServeLog
+from repro.serve.metrics import (MetricsHTTPServer, ServeMetrics,
+                                 render_prometheus)
 from repro.serve.pool import WorkerPool
 from repro.serve.scheduler import SessionScheduler, TenantQuota
 from repro.serve.session import Session, SessionBook
@@ -38,18 +41,34 @@ class ServeDaemon:
                  workers: int = 2, warm_cache: int = 8,
                  max_active: int = 2, max_queued: int = 8,
                  job_timeout_s: Optional[float] = None,
-                 seed: int = DEFAULT_SEED) -> None:
+                 seed: int = DEFAULT_SEED,
+                 log: Optional[ServeLog] = None,
+                 metrics_port: Optional[int] = None) -> None:
         self.host = host
         self.port = port
         self.seed = seed
+        self.log = log if log is not None else NULL_LOG
         self.pool = WorkerPool(workers=workers, warm_cache=warm_cache,
                                job_timeout_s=job_timeout_s)
         self.scheduler = SessionScheduler(
             self.pool, default_quota=TenantQuota(max_active=max_active,
                                                  max_queued=max_queued))
         self.sessions = SessionBook()
+        self.metrics = ServeMetrics(scheduler=self.scheduler,
+                                    pool=self.pool,
+                                    sessions=self.sessions)
+        self._metrics_port = metrics_port
+        self._metrics_http: Optional[MetricsHTTPServer] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        #: daemon-global job ids (event-loop-thread only; no lock)
+        self._job_seq = 0
+        #: accepted-but-unsettled jobs keyed by job id — the live table
+        #: behind ``repro_serve_jobs_in_flight`` and repro-top's rows
+        self._jobs: Dict[str, Dict[str, Any]] = {}
+        #: outboxes of connections that sent ``watch`` (progress
+        #: broadcast); discarded when their connection closes
+        self._watchers: set = set()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -58,6 +77,14 @@ class ServeDaemon:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self._metrics_port is not None:
+            self._metrics_http = MetricsHTTPServer(
+                self._render_metrics, host=self.host,
+                port=self._metrics_port)
+        self.log.info("daemon.start", host=self.host, port=self.port,
+                      workers=len(self.pool),
+                      metrics_port=getattr(self._metrics_http,
+                                           "port", None))
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -67,13 +94,32 @@ class ServeDaemon:
 
     async def shutdown(self, drain_timeout_s: float = 60.0) -> None:
         """Graceful stop: no new connections, drain, stop workers."""
+        self.log.info("daemon.shutdown", drain_timeout_s=drain_timeout_s)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_http is not None:
+            self._metrics_http.close()
+            self._metrics_http = None
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(
             None, lambda: self.scheduler.drain(drain_timeout_s))
         await loop.run_in_executor(None, self.pool.shutdown)
+        self.log.info("daemon.stopped")
+
+    # -- metrics ---------------------------------------------------------
+
+    def collect_metrics(self) -> Dict[str, Any]:
+        """The :meth:`ServeMetrics.collect` document plus the live
+        in-flight job table (thread-safe: reads a point-in-time copy)."""
+        doc = self.metrics.collect()
+        doc["jobs"] = {jid: dict(info)
+                       for jid, info in list(self._jobs.items())}
+        return doc
+
+    def _render_metrics(self) -> str:
+        self.metrics.inc("metrics_scrapes_total")
+        return render_prometheus(self.collect_metrics())
 
     # -- per-connection handling ----------------------------------------
 
@@ -82,6 +128,8 @@ class ServeDaemon:
         outbox: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
         sender = asyncio.ensure_future(self._send_loop(outbox, writer))
         session: Optional[Session] = None
+        self.metrics.inc("connections_total")
+        self.log.debug("conn.open")
         try:
             while True:
                 try:
@@ -93,6 +141,8 @@ class ServeDaemon:
                 try:
                     message = protocol.decode(line)
                 except protocol.MessageFormatError as exc:
+                    self.metrics.inc("protocol_errors_total")
+                    self.log.warning("protocol.error", error=str(exc))
                     outbox.put_nowait(protocol.encode(
                         protocol.error_message(2, str(exc))))
                     continue
@@ -104,8 +154,11 @@ class ServeDaemon:
                 if session is None:    # bye
                     break
         finally:
+            self._watchers.discard(outbox)
             if session is not None:
                 self.sessions.close(session)
+                self.log.debug("conn.close", session=session.id,
+                               tenant=session.tenant)
             outbox.put_nowait(None)
             with contextlib.suppress(Exception):
                 await sender
@@ -154,6 +207,29 @@ class ServeDaemon:
                    "pool": self.pool.snapshot(),
                    "sessions": len(self.sessions)})
             return session
+        if mtype == "metrics":
+            self.metrics.inc("metrics_scrapes_total")
+            fmt = str(message.get("format", "json"))
+            if fmt == "prometheus":
+                reply({"type": "metrics", "id": message.get("id"),
+                       "format": "prometheus",
+                       "body": render_prometheus(self.collect_metrics())})
+            elif fmt == "json":
+                reply({"type": "metrics", "id": message.get("id"),
+                       "format": "json",
+                       "data": self.collect_metrics()})
+            else:
+                self.metrics.inc("protocol_errors_total")
+                reply(protocol.error_message(
+                    2, f"unknown metrics format {fmt!r}",
+                    message.get("id")))
+            return session
+        if mtype == "watch":
+            # broadcast every relayed progress frame to this connection
+            self._watchers.add(outbox)
+            reply({"type": "watching", "id": message.get("id"),
+                   **session.identity()})
+            return session
         if mtype == "experiments":
             reply({"type": "experiments", "id": message.get("id"),
                    "items": [{"id": s.id, "section": s.section,
@@ -172,6 +248,9 @@ class ServeDaemon:
         if mtype in ("run", "stream"):
             self._submit(mtype, message, session, outbox)
             return session
+        self.metrics.inc("protocol_errors_total")
+        self.log.warning("protocol.unknown_type", mtype=str(mtype),
+                         session=session.id, tenant=session.tenant)
         reply(protocol.error_message(
             2, f"unknown message type {mtype!r}", message.get("id")))
         return session
@@ -199,34 +278,109 @@ class ServeDaemon:
                 "ops": message.get("ops") or [],
                 "session": identity,
             }
+        self._job_seq += 1
+        job_id = f"j-{self._job_seq}"
+        progress_spec = message.get("progress")
+        if progress_spec:
+            # opt-in: the worker builds a ProgressReporter from this
+            # spec; without it the run stays on the zero-cost null path
+            job["progress"] = (progress_spec
+                               if isinstance(progress_spec, dict)
+                               else True)
         loop = self._loop
 
         def on_settled(outcome) -> None:
             # pool watcher thread -> event loop
             loop.call_soon_threadsafe(
-                self._deliver, session, request_id, job, outcome, outbox)
+                self._deliver, session, request_id, job_id, job,
+                outcome, outbox)
+
+        def on_progress(frame: Dict[str, Any]) -> None:
+            # pool watcher thread -> event loop (same re-entry rule as
+            # settlement, so frames and the terminal reply stay ordered
+            # on the connection's outbox)
+            loop.call_soon_threadsafe(
+                self._relay_progress, session, request_id, job_id,
+                frame, outbox)
 
         try:
-            self.scheduler.submit(session.tenant, job, on_settled)
+            self.scheduler.submit(
+                session.tenant, job, on_settled,
+                on_progress=on_progress if progress_spec else None)
         except QuotaExceededError as exc:
             session.rejected += 1
+            self.log.warning("job.rejected", session=session.id,
+                             tenant=session.tenant, job=job_id,
+                             request_id=request_id, error=str(exc))
             outbox.put_nowait(protocol.encode(
                 {"type": "rejected", "id": request_id, "code": exc.code,
                  "error": str(exc)}))
             return
         session.submitted += 1
         session.in_flight += 1
+        self._jobs[job_id] = {
+            "tenant": session.tenant, "session": session.id,
+            "kind": job["kind"],
+            "what": job.get("experiment") or job.get("target"),
+            "frames": 0, "done_requests": 0, "sim_time_ns": 0,
+            "phase": None,
+        }
+        self.log.info("job.accepted", session=session.id,
+                      tenant=session.tenant, job=job_id,
+                      request_id=request_id, kind=job["kind"],
+                      what=self._jobs[job_id]["what"])
         outbox.put_nowait(protocol.encode(
-            {"type": "accepted", "id": request_id}))
+            {"type": "accepted", "id": request_id, "job": job_id}))
 
-    def _deliver(self, session: Session, request_id, job: Dict[str, Any],
-                 outcome, outbox: "asyncio.Queue") -> None:
+    def _relay_progress(self, session: Session, request_id, job_id: str,
+                        frame: Dict[str, Any],
+                        outbox: "asyncio.Queue") -> None:
+        """Fan one non-terminal frame out (event-loop thread).
+
+        The owning connection gets it tagged with the request id so the
+        client can route it to the right handler; watchers get a copy
+        without the id but with the session identity.
+        """
+        self.metrics.inc("progress_frames_total")
+        info = self._jobs.get(job_id)
+        if info is not None:
+            info["frames"] += 1
+            for key in ("done_requests", "sim_time_ns", "phase"):
+                if key in frame:
+                    info[key] = frame[key]
+        doc = {"type": "progress", "id": request_id, "job": job_id,
+               **frame}
+        outbox.put_nowait(protocol.encode(doc))
+        self.log.debug("job.progress", session=session.id,
+                       tenant=session.tenant, job=job_id,
+                       worker_pid=frame.get("worker_pid"),
+                       done_requests=frame.get("done_requests"),
+                       sim_time_ns=frame.get("sim_time_ns"),
+                       phase=frame.get("phase"))
+        if self._watchers:
+            broadcast = {k: v for k, v in doc.items() if k != "id"}
+            broadcast.update(session.identity())
+            encoded = protocol.encode(broadcast)
+            for watcher in list(self._watchers):
+                if watcher is not outbox:
+                    watcher.put_nowait(encoded)
+
+    def _deliver(self, session: Session, request_id, job_id: str,
+                 job: Dict[str, Any], outcome,
+                 outbox: "asyncio.Queue") -> None:
         session.in_flight = max(0, session.in_flight - 1)
+        self._jobs.pop(job_id, None)
         status, payload = outcome
+        self.log.info("job.settled", session=session.id,
+                      tenant=session.tenant, job=job_id,
+                      request_id=request_id, status=status,
+                      worker_pid=payload.get("worker_pid")
+                      if isinstance(payload, dict) else None)
         if status == "ok":
             session.completed += 1
             config = {k: v for k, v in job.items()
-                      if k not in ("session", "ops") and v is not None}
+                      if k not in ("session", "ops", "progress")
+                      and v is not None}
             config["ops"] = len(job["ops"]) if "ops" in job else None
             doc: Dict[str, Any] = {
                 "type": "result", "id": request_id, "status": "ok",
@@ -246,6 +400,7 @@ class ServeDaemon:
             doc["timeout"] = True
         else:
             doc = protocol.error_message(1, str(payload), request_id)
+        doc["job"] = job_id
         outbox.put_nowait(protocol.encode(doc))
 
 

@@ -44,19 +44,25 @@ def payload_fingerprint(result_doc: Dict[str, Any]) -> Dict[str, Any]:
 def _cmd_daemon(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.serve.log import ServeLog
     from repro.serve.server import ServeDaemon
 
+    log = ServeLog(level=args.log_level, json_lines=args.log_json)
     daemon = ServeDaemon(host=args.host, port=args.port,
                          workers=args.workers, warm_cache=args.warm_cache,
                          max_active=args.max_active,
                          max_queued=args.max_queued,
-                         job_timeout_s=args.job_timeout, seed=args.seed)
+                         job_timeout_s=args.job_timeout, seed=args.seed,
+                         log=log, metrics_port=args.metrics_port)
 
     async def _serve() -> None:
         await daemon.start()
         print(f"repro-serve listening on {daemon.host}:{daemon.port} "
               f"({args.workers} worker(s), warm cache "
               f"{args.warm_cache})", flush=True)
+        if daemon._metrics_http is not None:
+            print(f"repro-serve metrics on http://{daemon.host}:"
+                  f"{daemon._metrics_http.port}/metrics", flush=True)
         try:
             await daemon.serve_forever()
         except asyncio.CancelledError:
@@ -71,14 +77,36 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
     return 0
 
 
+def _live_status_printer():
+    """A progress handler that keeps one status line current.
+
+    Rewrites in place on a TTY; emits one line per frame otherwise so
+    CI logs still show the stream.
+    """
+    end = "\r" if sys.stdout.isatty() else "\n"
+
+    def on_progress(frame: Dict[str, Any]) -> None:
+        print(f"[live] phase={frame.get('phase')} "
+              f"done={frame.get('done_requests', 0)} "
+              f"sim={frame.get('sim_time_ns', 0)}ns "
+              f"frame={frame.get('frame', 0)}",
+              end=end, flush=True)
+
+    return on_progress
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.serve.client import ServeClient
 
     telemetry = ({"interval_ps": args.telemetry} if args.telemetry
                  else None)
+    on_progress = _live_status_printer() if args.progress else None
     with ServeClient(args.host, args.port, tenant=args.tenant) as client:
         reply = client.run_experiment(args.experiment, scale=args.scale,
-                                      seed=args.seed, telemetry=telemetry)
+                                      seed=args.seed, telemetry=telemetry,
+                                      on_progress=on_progress)
+    if on_progress is not None:
+        print(flush=True)             # end the live status line
     results = reply.get("results", [])
     if args.json:
         with open(args.json, "w", encoding="ascii") as fh:
@@ -144,17 +172,34 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
                         max_queued=1, seed=seed) as daemon:
         with ServeClient("127.0.0.1", daemon.port,
                          tenant="smoke") as client:
-            cold = client.run_experiment(args.experiment, seed=seed,
-                                         telemetry=telemetry)
+            frames: List[Dict[str, Any]] = []
+            live = _live_status_printer()
+
+            def on_progress(frame: Dict[str, Any]) -> None:
+                frames.append(frame)
+                live(frame)
+
+            cold = client.run_experiment(
+                args.experiment, seed=seed, telemetry=telemetry,
+                progress=True, on_progress=on_progress)
+            if sys.stdout.isatty():
+                print(flush=True)     # end the live status line
             warm = client.run_experiment(args.experiment, seed=seed,
                                          telemetry=telemetry)
             served_cold = [payload_fingerprint(d) for d in cold["results"]]
             served_warm = [payload_fingerprint(d) for d in warm["results"]]
             check(served_cold == batch,
-                  "served (cold build) == batch runner, bit-identical")
+                  "served (cold build, progress streaming) == batch "
+                  "runner, bit-identical")
             check(served_warm == batch,
                   "served (warm-cache reuse) == batch runner, "
                   "bit-identical")
+            check(len(frames) >= 2,
+                  f"progress streamed >=2 frames before the terminal "
+                  f"reply ({len(frames)} frame(s))")
+            sims = [f.get("sim_time_ns", 0) for f in frames]
+            check(sims == sorted(sims),
+                  "progress sim_time_ns is monotone non-decreasing")
             check(warm["warm_cache"]["hits"] > 0,
                   f"warm cache reused targets "
                   f"({warm['warm_cache']['hits']} hit(s))")
@@ -179,6 +224,34 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
             first = client.submit_stream("vans", busy_ops)
             second = client.submit_stream("vans", busy_ops)
             third = client.submit_stream("vans", busy_ops)
+
+            # mid-run metrics scrape: jobs are still active/queued, so
+            # the exposition must already carry scheduler, pool, and
+            # warm-cache series and parse strictly
+            from repro.serve.metrics import parse_exposition
+            exposition = client.metrics(format="prometheus")
+            try:
+                samples = parse_exposition(exposition)
+            except ValueError as exc:
+                samples = {}
+                print(f"[exposition error] {exc}", file=sys.stderr)
+            check(len(samples) > 0,
+                  f"mid-run Prometheus exposition parses "
+                  f"({len(samples)} sample(s))")
+            check(any(k.startswith("repro_serve_scheduler_jobs_total")
+                      for k in samples)
+                  and "repro_serve_workers" in samples
+                  and any(k.startswith(
+                      "repro_serve_warm_cache_events_total")
+                      for k in samples),
+                  "exposition covers scheduler, pool, and warm cache")
+            check(samples.get("repro_serve_jobs_in_flight", 0) >= 1,
+                  "mid-run scrape sees in-flight jobs")
+            metrics_doc = client.metrics()
+            check(metrics_doc["counters"]["progress_frames_total"]
+                  >= len(frames),
+                  "daemon counted the relayed progress frames")
+
             rejection = client.wait(third, raise_on_error=False)
             check(rejection.get("type") == "rejected"
                   and rejection.get("code") == 429,
@@ -220,6 +293,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     daemon_p.add_argument("--job-timeout", type=float, default=None,
                           metavar="S", help="watchdog per job (seconds)")
     daemon_p.add_argument("--seed", type=int, default=42)
+    daemon_p.add_argument("--log-level", default="info",
+                          choices=["debug", "info", "warning", "error",
+                                   "off"],
+                          help="structured log verbosity (stderr)")
+    daemon_p.add_argument("--log-json", action="store_true",
+                          help="emit logs as JSON lines instead of text")
+    daemon_p.add_argument("--metrics-port", type=int, default=None,
+                          metavar="PORT",
+                          help="also serve Prometheus text on plain "
+                               "HTTP GET /metrics (0 picks a free port)")
     daemon_p.set_defaults(func=_cmd_daemon)
 
     run_p = sub.add_parser("run", help="run one experiment via a session")
@@ -234,6 +317,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="sample sim-time telemetry every PS ps")
     run_p.add_argument("--json", metavar="PATH",
                        help="save the full result message as JSON")
+    run_p.add_argument("--progress", action="store_true",
+                       help="stream live progress frames while waiting")
     run_p.set_defaults(func=_cmd_run)
 
     stream_p = sub.add_parser("stream",

@@ -58,8 +58,9 @@ class TestFairness:
         for i in range(2):
             sched.submit("mouse", {"n": i}, done)
         pool.finish_all()
-        assert sched.dispatch_log == ["x", "hog", "mouse", "hog",
-                                      "mouse", "hog"]
+        assert list(sched.dispatch_log) == ["x", "hog", "mouse", "hog",
+                                            "mouse", "hog"]
+        assert sched.dispatch_log_total == 6
         assert sched.stats["completed"] == 6
         assert sched.queued() == 0 and sched.active() == 0
 

@@ -60,7 +60,7 @@ class TestConcurrentSessions:
                            for r in replies)
                 # fairness: each tenant's first job ran before any
                 # tenant's second job
-                log = daemon.scheduler.dispatch_log
+                log = list(daemon.scheduler.dispatch_log)
                 assert set(log[:ntenants]) == \
                     {f"t{i}" for i in range(ntenants)}
                 assert daemon.scheduler.stats["completed"] == 2 * ntenants
