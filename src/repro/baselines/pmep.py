@@ -97,6 +97,10 @@ class PMEPModel(TargetSystem):
     def fence(self, now: int) -> int:
         return now
 
+    def profile_points(self):
+        yield from super().profile_points()
+        yield ("pmep.write_nt", self, "write_nt")
+
     def reset(self) -> None:
         """Warm-cache reset: idle DRAM and throttle server."""
         self.dram.reset()

@@ -67,7 +67,9 @@ class CalendarQueue:
 
     __slots__ = ("shift", "span", "_bins", "_heap", "_far",
                  "_active", "_active_idx", "_active_bucket", "_head",
-                 "_single", "_size", "cancelled")
+                 "_single", "_size", "cancelled",
+                 "far_migrations", "compactions", "compacted_entries",
+                 "singles", "batch_hist")
 
     def __init__(self, shift: int = DEFAULT_SHIFT,
                  span: int = DEFAULT_SPAN) -> None:
@@ -94,6 +96,18 @@ class CalendarQueue:
         self._size = 0
         #: cancelled-but-still-queued entries
         self.cancelled = 0
+        # ---- health counters (read via Engine.kernel_stats()) ----
+        #: far-heap events migrated into buckets as the head approached
+        self.far_migrations = 0
+        #: lazy-deletion compaction passes run
+        self.compactions = 0
+        #: cancelled entries removed by those passes
+        self.compacted_entries = 0
+        #: events dispatched through the singleton lane
+        self.singles = 0
+        #: opened-bucket size histogram; index i counts buckets whose
+        #: entry count n had ``n.bit_length() == i`` (power-of-two bins)
+        self.batch_hist: List[int] = [0, 0]
 
     def __len__(self) -> int:
         return self._size
@@ -192,6 +206,8 @@ class CalendarQueue:
             self._active_bucket = bucket
             if bucket > self._head:
                 self._head = bucket
+            self.singles += 1
+            self.batch_hist[1] += 1
             return True
         heap = self._heap
         far = self._far
@@ -205,6 +221,7 @@ class CalendarQueue:
             if heap and far_bucket > heap[0]:
                 break
             event = heappop(far)[2]
+            self.far_migrations += 1
             entries = self._bins.get(far_bucket)
             if entries is None:
                 self._bins[far_bucket] = [event]
@@ -217,6 +234,13 @@ class CalendarQueue:
         entries = self._bins.pop(bucket)
         if len(entries) > 1:
             entries.sort(key=_ORDER)
+        n = len(entries)
+        if n:
+            hist = self.batch_hist
+            i = n.bit_length()
+            if i >= len(hist):
+                hist.extend(0 for _ in range(i + 1 - len(hist)))
+            hist[i] += 1
         self._active = entries
         self._active_idx = 0
         self._active_bucket = bucket
@@ -250,6 +274,7 @@ class CalendarQueue:
             bucket = single.time >> self.shift
             if bucket > self._head:
                 self._head = bucket
+            self.singles += 1
             return single
         while True:
             entries = self._active
@@ -279,6 +304,41 @@ class CalendarQueue:
         self._single = None
         self._size = 0
         self.cancelled = 0
+        self.far_migrations = 0
+        self.compactions = 0
+        self.compacted_entries = 0
+        self.singles = 0
+        self.batch_hist = [0, 0]
+
+    # ------------------------------------------------------------------
+    # health introspection
+    # ------------------------------------------------------------------
+
+    def occupancy(self) -> Dict[str, int]:
+        """Live bucket-table occupancy (cheap; computed on demand)."""
+        active = 0
+        if self._active is not None:
+            active = len(self._active) - self._active_idx
+        return {
+            "buckets": len(self._bins) + (1 if self._active is not None
+                                          else 0),
+            "binned_events": sum(len(v) for v in self._bins.values()),
+            "active_remaining": active,
+            "far_events": len(self._far),
+            "head_bucket": self._head,
+        }
+
+    def batch_histogram(self) -> Dict[str, int]:
+        """Opened-bucket sizes as labelled power-of-two ranges."""
+        out: Dict[str, int] = {}
+        for i, n in enumerate(self.batch_hist):
+            if not n or i == 0:
+                continue
+            if i == 1:
+                out["1"] = n
+            else:
+                out[f"{1 << (i - 1)}-{(1 << i) - 1}"] = n
+        return out
 
     def note_cancel(self) -> None:
         """Record one cancellation; compact when the dead fraction wins."""
@@ -297,6 +357,7 @@ class CalendarQueue:
         number of entries removed.
         """
         removed = 0
+        self.compactions += 1
         single = self._single
         if single is not None and single.cancelled:
             self._single = None
@@ -314,6 +375,7 @@ class CalendarQueue:
                 far[:] = kept_far
                 heapify(far)
         self._size -= removed
+        self.compacted_entries += removed
         self.cancelled -= removed
         if self.cancelled < 0:  # defensive: stale-handle cancels
             self.cancelled = 0

@@ -34,7 +34,8 @@ reused it would cancel the new occupant — don't keep fired handles.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+import weakref
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.engine.calendar import CalendarQueue
@@ -44,6 +45,31 @@ EVENT_POOL_CAP = 4096
 
 #: legacy-heap compaction floor (mirrors CalendarQueue's threshold)
 COMPACT_MIN_CANCELLED = 32
+
+#: every live Engine, for process-wide kernel-health aggregation
+#: (serve workers ship :func:`aggregate_kernel_stats` to the daemon)
+_ENGINES: "weakref.WeakSet[Engine]" = weakref.WeakSet()
+
+
+def _handler_key(fn: Callable[..., Any]) -> str:
+    """Stable attribution key for an event callback.
+
+    ``handler.`` plus the callback's qualname with closure noise
+    stripped, e.g. ``AttachedMemory.send.<locals>._complete`` becomes
+    ``handler.AttachedMemory.send._complete``.
+    """
+    target = getattr(fn, "__func__", fn)
+    qual = getattr(target, "__qualname__", None)
+    if qual is None:
+        qual = type(fn).__name__
+    return "handler." + qual.replace(".<locals>", "")
+
+
+def _handler_code(fn: Callable[..., Any]) -> Any:
+    """Cache key for :func:`_handler_key` (code object when available,
+    so every instance of one closure shares a single dict entry)."""
+    target = getattr(fn, "__func__", fn)
+    return getattr(target, "__code__", None) or target
 
 
 class Event:
@@ -85,7 +111,9 @@ class Engine:
     """Event loop with an integer-picosecond clock (calendar-queue core)."""
 
     __slots__ = ("_now", "_seq", "_queue", "_processed", "_pool",
-                 "_telemetry", "_faults", "_fast_dispatch")
+                 "_telemetry", "_faults", "_profiler", "_fast_dispatch",
+                 "_handler_keys", "_pool_misses", "_sched_base",
+                 "__weakref__")
 
     def __init__(self, bucket_shift: Optional[int] = None,
                  far_span: Optional[int] = None) -> None:
@@ -101,9 +129,18 @@ class Engine:
         self._pool: List[Event] = []
         self._telemetry: Optional[Any] = None
         self._faults: Optional[Any] = None
+        self._profiler: Optional[Any] = None
         #: precompiled dispatch slot: True selects the tight
         #: no-instrumentation loop; rebuilt only on (de)attachment.
         self._fast_dispatch = True
+        #: callback code object -> attribution key (profiled dispatch)
+        self._handler_keys: Dict[Any, str] = {}
+        #: fresh Event allocations (pool misses); hits are derived as
+        #: scheduled - misses, so the pool-reuse hot path pays nothing
+        self._pool_misses = 0
+        #: events scheduled before the last reset() (``_seq`` restarts)
+        self._sched_base = 0
+        _ENGINES.add(self)
 
     # ------------------------------------------------------------------
     # instrumentation seams (dispatch slot rebuild points)
@@ -129,8 +166,21 @@ class Engine:
         self._faults = injector
         self._rebuild_dispatch()
 
+    @property
+    def profiler(self) -> Optional[Any]:
+        """Optional host wall-clock profiler (``repro.prof``) timing
+        each dispatched callback under a per-handler key."""
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, prof: Optional[Any]) -> None:
+        self._profiler = prof
+        self._rebuild_dispatch()
+
     def _rebuild_dispatch(self) -> None:
-        self._fast_dispatch = self._telemetry is None and self._faults is None
+        self._fast_dispatch = (self._telemetry is None
+                               and self._faults is None
+                               and self._profiler is None)
 
     # ------------------------------------------------------------------
     # clock / introspection
@@ -169,6 +219,7 @@ class Engine:
         sequence counter restarts too (event ordering ties break on it).
         The recycled-event pool is kept — pooled events carry no state.
         """
+        self._sched_base += self._seq
         self._now = 0
         self._seq = 0
         self._processed = 0
@@ -197,6 +248,7 @@ class Engine:
         else:
             event = Event(time, self._seq, fn, args)
             event._engine = self
+            self._pool_misses += 1
         self._queue.push(event)
         return event
 
@@ -222,6 +274,8 @@ class Engine:
         """
         if until is None and max_events is None and self._fast_dispatch:
             return self._run_fast()
+        if self._profiler is not None:
+            return self._run_profiled(until, max_events)
         return self._run_full(until, max_events)
 
     def _run_fast(self) -> int:
@@ -247,6 +301,7 @@ class Engine:
             if event is not None:
                 queue._single = None
                 queue._size = 0
+                queue.singles += 1
                 if event.cancelled:
                     queue.cancelled -= 1
                     event.live = False
@@ -363,6 +418,127 @@ class Engine:
                 tel.tick(self._now)
         return self._now
 
+    def _run_profiled(self, until: Optional[int],
+                      max_events: Optional[int]) -> int:
+        """Profiled dispatch slot: :meth:`_run_full` behaviour with each
+        callback timed under a ``handler.<qualname>`` key.
+
+        A separate slot so attaching a profiler never adds a branch to
+        the uninstrumented loops; selected via the same precompiled
+        dispatch rebuild as telemetry/faults.
+        """
+        prof = self._profiler
+        push = prof.push
+        pop = prof.pop
+        keys = self._handler_keys
+        fired = 0
+        tel = self._telemetry
+        faults = self._faults
+        queue = self._queue
+        while True:
+            peek = queue.peek_time()
+            if peek is None:
+                break
+            if until is not None and peek > until:
+                self._now = until
+                if tel is not None and tel.enabled:
+                    tel.tick(self._now)
+                return self._now
+            event = queue.pop()
+            if event.cancelled:
+                queue.cancelled -= 1
+                self._recycle(event)
+                continue
+            self._now = event.time
+            fn = event.fn
+            args = event.args
+            event.live = False
+            code = _handler_code(fn)
+            key = keys.get(code)
+            if key is None:
+                key = keys[code] = _handler_key(fn)
+            frame = push(key)
+            try:
+                fn(*args)
+            finally:
+                pop(frame)
+            self._processed += 1
+            self._recycle(event)
+            if tel is not None and tel.enabled:
+                tel.tick(self._now)
+            if faults is not None and faults.enabled:
+                faults.tick(self._now)
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        if until is not None and self._now < until:
+            self._now = until
+            if tel is not None and tel.enabled:
+                tel.tick(self._now)
+        return self._now
+
+    # ------------------------------------------------------------------
+    # kernel health introspection
+    # ------------------------------------------------------------------
+
+    def kernel_stats(self) -> Dict[str, Any]:
+        """Snapshot of the kernel's internal health counters.
+
+        Covers the calendar queue (bucket occupancy, far-heap
+        migrations, lazy-deletion compactions, batched-dispatch batch
+        sizes) and the event pool (hit rate).  Cheap enough to call
+        per bench entry; computed on demand, never in the hot loops.
+        """
+        queue = self._queue
+        scheduled = self._sched_base + self._seq
+        misses = self._pool_misses
+        hits = scheduled - misses
+        return {
+            "events": self._processed,
+            "scheduled": scheduled,
+            "pending": len(queue),
+            "pooled": len(self._pool),
+            "pool_hits": hits,
+            "pool_misses": misses,
+            "pool_hit_rate": (hits / scheduled) if scheduled else 0.0,
+            "far_migrations": queue.far_migrations,
+            "compactions": queue.compactions,
+            "compacted_entries": queue.compacted_entries,
+            "cancelled_pending": queue.cancelled,
+            "singleton_dispatches": queue.singles,
+            "batch_hist": queue.batch_histogram(),
+            **queue.occupancy(),
+        }
+
+    def publish_kernel_gauges(self, bus: Any, prefix: str = "kernel") -> None:
+        """Register the health counters as pull-gauges on an
+        :class:`~repro.instrument.InstrumentBus`."""
+        queue = self._queue
+        bus.gauge(f"{prefix}.events", lambda: self._processed)
+        bus.gauge(f"{prefix}.pending", lambda: len(queue))
+        bus.gauge(f"{prefix}.pooled", lambda: len(self._pool))
+        bus.gauge(f"{prefix}.pool_misses", lambda: self._pool_misses)
+        bus.gauge(f"{prefix}.pool_hits",
+                  lambda: self._sched_base + self._seq - self._pool_misses)
+
+        def hit_rate() -> float:
+            scheduled = self._sched_base + self._seq
+            if not scheduled:
+                return 0.0
+            return (scheduled - self._pool_misses) / scheduled
+
+        bus.gauge(f"{prefix}.pool_hit_rate", hit_rate)
+        bus.gauge(f"{prefix}.far_migrations",
+                  lambda: queue.far_migrations)
+        bus.gauge(f"{prefix}.compactions", lambda: queue.compactions)
+        bus.gauge(f"{prefix}.compacted_entries",
+                  lambda: queue.compacted_entries)
+        bus.gauge(f"{prefix}.singleton_dispatches",
+                  lambda: queue.singles)
+        bus.gauge(f"{prefix}.buckets",
+                  lambda: queue.occupancy()["buckets"])
+        bus.gauge(f"{prefix}.far_events", lambda: len(queue._far))
+
     def step(self) -> Optional[Tuple[int, Callable[..., Any]]]:
         """Fire exactly one (non-cancelled) event; return (time, fn) or None."""
         queue = self._queue
@@ -395,6 +571,34 @@ class Engine:
         if time < self._now:
             raise SimulationError(f"cannot move time backwards to {time}")
         self._now = time
+
+
+#: kernel_stats keys summed across engines by aggregate_kernel_stats
+_AGG_SCALARS = ("events", "scheduled", "pending", "pooled", "pool_hits",
+                "pool_misses", "far_migrations", "compactions",
+                "compacted_entries", "cancelled_pending",
+                "singleton_dispatches", "buckets", "binned_events",
+                "active_remaining", "far_events")
+
+
+def aggregate_kernel_stats() -> Dict[str, Any]:
+    """Sum :meth:`Engine.kernel_stats` across every live engine in this
+    process.  Serve workers ship this with each job result so the
+    daemon's ``/metrics`` can expose ``repro_kernel_*`` series."""
+    agg: Dict[str, Any] = {key: 0 for key in _AGG_SCALARS}
+    agg["engines"] = 0
+    hist: Dict[str, int] = {}
+    for engine in list(_ENGINES):
+        stats = engine.kernel_stats()
+        agg["engines"] += 1
+        for key in _AGG_SCALARS:
+            agg[key] += stats.get(key, 0)
+        for label, count in stats.get("batch_hist", {}).items():
+            hist[label] = hist.get(label, 0) + count
+    agg["batch_hist"] = hist
+    scheduled = agg["scheduled"]
+    agg["pool_hit_rate"] = (agg["pool_hits"] / scheduled) if scheduled else 0.0
+    return agg
 
 
 class LegacyEngine:

@@ -193,8 +193,10 @@ KERNELS: Tuple[Tuple[str, Callable], ...] = (
 
 def _time_case(driver: Callable, kernel_factory: Callable, nevents: int,
                seed: int, repeats: int = REPEATS
-               ) -> Tuple[float, int, int]:
-    """Best wall seconds, events processed, checksum for one kernel.
+               ) -> Tuple[float, int, int, Dict[str, object]]:
+    """Best wall seconds, events processed, checksum, and the kernel's
+    health-stat snapshot (empty for kernels without ``kernel_stats``)
+    for one kernel.
 
     Every repeat must reproduce the same checksum and event count — a
     mismatch means the kernel is non-deterministic, which is a hard
@@ -203,6 +205,7 @@ def _time_case(driver: Callable, kernel_factory: Callable, nevents: int,
     best_wall = float("inf")
     checksum = None
     processed = 0
+    stats: Dict[str, object] = {}
     for _ in range(repeats):
         engine = kernel_factory()
         start = time.perf_counter()
@@ -217,7 +220,11 @@ def _time_case(driver: Callable, kernel_factory: Callable, nevents: int,
                 f"{processed}")
         if wall < best_wall:
             best_wall = wall
-    return best_wall, processed, checksum
+        kernel_stats = getattr(engine, "kernel_stats", None)
+        if kernel_stats is not None:
+            # deterministic workload: every repeat snapshots identically
+            stats = kernel_stats()
+    return best_wall, processed, checksum, stats
 
 
 def run_kernel_bench(nevents: int = SMOKE_EVENTS, seed: int = 0,
@@ -236,13 +243,14 @@ def run_kernel_bench(nevents: int = SMOKE_EVENTS, seed: int = 0,
     for case, driver in CASES.items():
         sides = {}
         for kernel_name, factory in KERNELS:
-            wall, processed, checksum = _time_case(
+            wall, processed, checksum, stats = _time_case(
                 driver, factory, nevents, seed, repeats)
             sides[kernel_name] = {
                 "wall_s": wall,
                 "events": processed,
                 "events_per_s": processed / wall if wall > 0 else 0.0,
                 "checksum": checksum,
+                "kernel_stats": stats,
             }
         legacy, optimized = sides["legacy"], sides["optimized"]
         if legacy["checksum"] != optimized["checksum"] or \
@@ -262,5 +270,6 @@ def run_kernel_bench(nevents: int = SMOKE_EVENTS, seed: int = 0,
             "legacy_events_per_s": legacy["events_per_s"],
             "speedup": (optimized["events_per_s"] / legacy["events_per_s"]
                         if legacy["events_per_s"] > 0 else 0.0),
+            "kernel_stats": optimized["kernel_stats"],
         }
     return results

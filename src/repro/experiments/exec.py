@@ -48,6 +48,8 @@ from repro.flight import session as flight_session
 from repro.instrument import Collection
 from repro.progress import NULL_PROGRESS, ProgressReporter  # noqa: F401  (re-export)
 from repro.progress import session as progress_session
+from repro.prof.profiler import Profiler
+from repro.prof.profiler import session as prof_session
 from repro.target import TargetSystem
 from repro.telemetry import TelemetrySampler
 from repro.telemetry import session as telemetry_session
@@ -190,7 +192,8 @@ def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
                    telemetry: Optional[Mapping[str, object]] = None,
                    faults: Optional[Mapping[str, object]] = None,
                    session: Optional[Mapping[str, object]] = None,
-                   progress: Optional[ProgressReporter] = None
+                   progress: Optional[ProgressReporter] = None,
+                   prof: Optional[Profiler] = None
                    ) -> List[ExperimentResult]:
     """Run one experiment id; returns its results as a flat list.
 
@@ -228,6 +231,12 @@ def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
     it to the worker pipe).  Frames are advisory and never enter the
     result payload: a run with a reporter attached is byte-identical to
     one without.
+
+    ``prof`` is a live :class:`~repro.prof.Profiler`: every system the
+    registry builds during the run gets its ``profile_points()``
+    wrapped for host wall-clock attribution, and the wrappers are
+    removed when the run ends.  Profiling is host-side observation
+    only — simulated timings, results, and exports stay bit-identical.
     """
     spec = REGISTRY.get(exp_id)
     if spec is None:
@@ -246,7 +255,8 @@ def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
         injector = FaultInjector(plan, checker=PersistenceChecker())
     fa_session = (faults_session(injector) if injector is not None
                   else nullcontext())
-    with fl_session, tel_session, fa_session, progress_session(progress):
+    with fl_session, tel_session, fa_session, \
+            progress_session(progress), prof_session(prof):
         if progress is not None:
             progress.phase(exp_id)
         with Collection() as collection:
@@ -287,7 +297,8 @@ _STREAM_OPS = ("read", "write", "fence")
 def run_stream(target: str, ops: Sequence[Mapping[str, object]],
                overrides: Optional[Mapping[str, object]] = None,
                session: Optional[Mapping[str, object]] = None,
-               progress: Optional[ProgressReporter] = None
+               progress: Optional[ProgressReporter] = None,
+               prof: Optional[Profiler] = None
                ) -> Dict[str, object]:
     """Drive a registry target with a raw request stream.
 
@@ -302,7 +313,8 @@ def run_stream(target: str, ops: Sequence[Mapping[str, object]],
     Returns a JSON-safe summary: per-op counts, final simulated time,
     cumulative latency, and the target's instrumentation snapshot.
     """
-    with progress_session(progress), Collection() as collection:
+    with progress_session(progress), prof_session(prof), \
+            Collection() as collection:
         if progress is not None:
             progress.phase(f"stream:{target}")
         system = registry.acquire(target, **dict(overrides or {}))

@@ -1,0 +1,83 @@
+"""Profile diffing: attribute a bench regression to the keys that moved.
+
+The comparison is *share*-based: each key's self time is normalized to
+its share of the profile's total self time, which cancels machine
+speed and background load between the two runs.  A key is a mover only
+when its share, its ratio, and its absolute self time all moved past
+their floors — so two same-seed runs on one machine report nothing,
+while a 2x slowdown injected into one station clears every bar at
+once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple
+
+
+class Mover(NamedTuple):
+    key: str
+    direction: str          # "slower" | "faster"
+    self_a_ns: int
+    self_b_ns: int
+    share_a: float          # fraction of total self time in profile A
+    share_b: float
+    ratio: float            # self_b / self_a (inf for new keys)
+
+    @property
+    def share_delta_pts(self) -> float:
+        return (self.share_b - self.share_a) * 100.0
+
+
+def diff_profiles(a: Dict[str, Any], b: Dict[str, Any],
+                  min_share_pts: float = 5.0,
+                  min_ratio: float = 1.5,
+                  min_self_ms: float = 1.0) -> List[Mover]:
+    """Movers between profile ``a`` (baseline) and ``b`` (candidate).
+
+    A key moves when, in either direction, its share of total self
+    time changed by ≥ ``min_share_pts`` percentage points AND its self
+    time changed by ≥ ``min_ratio``x AND the absolute change is ≥
+    ``min_self_ms`` milliseconds.  Sorted by share delta, largest
+    first.
+    """
+    frames_a = a.get("frames", {})
+    frames_b = b.get("frames", {})
+    total_a = max(1, a.get("total_self_ns") or 1)
+    total_b = max(1, b.get("total_self_ns") or 1)
+    movers: List[Mover] = []
+    for key in sorted(set(frames_a) | set(frames_b)):
+        self_a = frames_a.get(key, {}).get("self_ns", 0)
+        self_b = frames_b.get(key, {}).get("self_ns", 0)
+        share_a = self_a / total_a
+        share_b = self_b / total_b
+        delta_pts = abs(share_b - share_a) * 100.0
+        delta_ns = abs(self_b - self_a)
+        if delta_pts < min_share_pts or delta_ns < min_self_ms * 1e6:
+            continue
+        lo, hi = min(self_a, self_b), max(self_a, self_b)
+        ratio = (hi / lo) if lo else float("inf")
+        if ratio < min_ratio:
+            continue
+        movers.append(Mover(
+            key=key,
+            direction="slower" if share_b > share_a else "faster",
+            self_a_ns=self_a, self_b_ns=self_b,
+            share_a=share_a, share_b=share_b,
+            ratio=(self_b / self_a) if self_a else float("inf")))
+    movers.sort(key=lambda m: (-abs(m.share_b - m.share_a), m.key))
+    return movers
+
+
+def format_movers(movers: List[Mover]) -> str:
+    """Human table for ``repro-prof diff`` output."""
+    if not movers:
+        return "no significant movers\n"
+    lines = [f"{'KEY':<36} {'DIR':<7} {'SELF A':>10} {'SELF B':>10} "
+             f"{'SHARE A':>8} {'SHARE B':>8} {'RATIO':>7}"]
+    for m in movers:
+        ratio = "new" if m.ratio == float("inf") else f"{m.ratio:6.2f}x"
+        lines.append(
+            f"{m.key:<36} {m.direction:<7} "
+            f"{m.self_a_ns / 1e6:9.2f}m {m.self_b_ns / 1e6:9.2f}m "
+            f"{m.share_a:8.1%} {m.share_b:8.1%} {ratio:>7}")
+    return "\n".join(lines) + "\n"

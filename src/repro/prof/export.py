@@ -1,0 +1,145 @@
+"""Profile document exporters: collapsed stacks, speedscope, Chrome.
+
+All exporters are pure functions over a ``repro.prof/1`` document and
+emit deterministic output (sorted stacks, stable ordering), so two
+profiles of the same run diff cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: the flight recorder owns pid 0 in its Chrome traces; host-profiler
+#: events live in their own process row so the two merge cleanly
+_PROF_PID = 1
+
+
+def to_collapsed(doc: Dict[str, Any]) -> str:
+    """Brendan Gregg collapsed-stack format: ``a;b;c <self_ns>``.
+
+    One line per distinct stack path, weight is self wall time in
+    nanoseconds — pipe into ``flamegraph.pl`` or paste into speedscope.
+    Zero-weight paths are kept (they carry call counts in the profile
+    document) so the export round-trips the stack set exactly.
+    """
+    lines = []
+    for entry in sorted(doc.get("stacks", []), key=lambda e: e["stack"]):
+        lines.append(";".join(entry["stack"]) + f" {entry['self_ns']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_collapsed(text: str) -> List[Dict[str, Any]]:
+    """Inverse of :func:`to_collapsed` (calls are not representable in
+    the collapsed format and come back as 0)."""
+    stacks: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        path, _, weight = line.rpartition(" ")
+        if not path or not weight.lstrip("-").isdigit():
+            raise ValueError(f"collapsed line {lineno} is malformed: "
+                             f"{line!r}")
+        stacks.append({"stack": path.split(";"), "calls": 0,
+                       "self_ns": int(weight)})
+    stacks.sort(key=lambda e: e["stack"])
+    return stacks
+
+
+def to_speedscope(doc: Dict[str, Any], name: str = "repro-prof") -> Dict[str, Any]:
+    """Speedscope sampled-profile file (https://www.speedscope.app).
+
+    Each distinct stack path becomes one sample weighted by its self
+    wall time; the flamegraph view then shows exactly the profiler's
+    self/cumulative attribution.
+    """
+    frames: List[Dict[str, str]] = []
+    index: Dict[str, int] = {}
+    samples: List[List[int]] = []
+    weights: List[int] = []
+    for entry in sorted(doc.get("stacks", []), key=lambda e: e["stack"]):
+        stack_idx = []
+        for key in entry["stack"]:
+            if key not in index:
+                index[key] = len(frames)
+                frames.append({"name": key})
+            stack_idx.append(index[key])
+        samples.append(stack_idx)
+        weights.append(entry["self_ns"])
+    total = sum(weights)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [{
+            "type": "sampled",
+            "name": name,
+            "unit": "nanoseconds",
+            "startValue": 0,
+            "endValue": total,
+            "samples": samples,
+            "weights": weights,
+        }],
+        "exporter": "repro-prof",
+        "name": name,
+    }
+
+
+def to_chrome(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Chrome trace-event document for the host profile.
+
+    Emits a synthetic icicle (one complete ``X`` span per stack path,
+    laid out contiguously by self time) plus per-key ``C`` counter
+    events carrying call counts, all under a dedicated profiler pid —
+    loadable standalone in ``chrome://tracing`` / Perfetto, or merged
+    with a flight-recorder trace via :func:`merge_chrome`.
+    """
+    events: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": _PROF_PID, "tid": 0,
+         "args": {"name": "repro host profiler (wall clock)"}},
+        {"name": "thread_name", "ph": "M", "pid": _PROF_PID, "tid": 0,
+         "args": {"name": "self time by stack"}},
+    ]
+    cursor = 0.0
+    for entry in sorted(doc.get("stacks", []), key=lambda e: e["stack"]):
+        dur_us = entry["self_ns"] / 1e3
+        depth = 0
+        for key in entry["stack"]:
+            events.append({
+                "name": key, "ph": "X", "pid": _PROF_PID, "tid": 0,
+                "ts": round(cursor, 3), "dur": round(dur_us, 3),
+                "args": {"depth": depth},
+            })
+            depth += 1
+        cursor += dur_us
+    ts = 0.0
+    for key, frame in sorted(doc.get("frames", {}).items()):
+        events.append({
+            "name": f"calls:{key}", "ph": "C", "pid": _PROF_PID, "tid": 0,
+            "ts": round(ts, 3), "args": {"calls": frame["calls"]},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "source": "repro-prof",
+            "schema": doc.get("schema"),
+            "total_self_ns": doc.get("total_self_ns", 0),
+        },
+    }
+
+
+def merge_chrome(flight_trace: Dict[str, Any],
+                 prof_doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge a host profile into a ``repro-flight`` Chrome trace.
+
+    The flight recorder's simulated-time spans keep pid 0; the host
+    profiler's wall-clock events ride along under pid 1, so one file
+    shows both attributions side by side.
+    """
+    merged = dict(flight_trace)
+    merged["traceEvents"] = (list(flight_trace.get("traceEvents", []))
+                             + to_chrome(prof_doc)["traceEvents"])
+    other = dict(flight_trace.get("otherData", {}))
+    other["host_profile"] = prof_doc.get("schema")
+    merged["otherData"] = other
+    return merged

@@ -51,6 +51,8 @@ from repro.flight.recorder import current as current_flight
 from repro.instrument import NULL_BUS, InstrumentBus, announce
 from repro.progress import TelemetryFanout
 from repro.progress import current as current_progress
+from repro.prof.profiler import current as current_prof
+from repro.prof.profiler import uninstrument as prof_uninstrument
 from repro.reference import OptaneReference
 from repro.target import TargetSystem
 from repro.telemetry.sampler import current as current_telemetry
@@ -180,6 +182,12 @@ def _attach_session(system: Any) -> Any:
         # recompile the system's hot-path method bindings to match
         # (fast uninstrumented variants vs the full class methods).
         system._rebuild_fast_paths()
+        # The host profiler wraps last, over the final (possibly fast)
+        # bindings: timings then cover exactly the code production runs
+        # execute, and the session tear-down restores the bindings.
+        prof = current_prof()
+        if prof.enabled:
+            prof.instrument(system)
     return system
 
 
@@ -317,6 +325,9 @@ def release(system: Any) -> bool:
     # Telemetry is attached instance-side by _attach_session; detach it
     # so the class-level NULL_TELEMETRY default shows through again.
     system.__dict__.pop("telemetry", None)
+    # Likewise strip any host-profiler wrappers before parking, so a
+    # reused system never times (or slows) a later unprofiled session.
+    prof_uninstrument(system)
     system.reset()
     if sum(len(v) for v in _WARM_CACHE.values()) >= _WARM_LIMIT:
         _WARM_STATS["dropped"] += 1

@@ -14,6 +14,7 @@ from abc import ABC, abstractmethod
 from repro.engine.request import CACHE_LINE, Op, Request
 from repro.faults.injector import NULL_FAULTS
 from repro.flight.recorder import NULL_FLIGHT
+from repro.prof.profiler import NULL_PROF
 from repro.telemetry.sampler import NULL_TELEMETRY
 
 
@@ -35,6 +36,13 @@ class TargetSystem(ABC):
     #: the class default is the zero-cost no-op)
     faults = NULL_FAULTS
 
+    #: host wall-clock profiler (instance-side when a profiling session
+    #: is active; the class default is the zero-cost no-op).  Unlike the
+    #: other hooks, the profiler does not flip :meth:`_uninstrumented`:
+    #: it wraps whatever bindings are live — precompiled fast variants
+    #: included — so timings stay representative of production runs.
+    prof = NULL_PROF
+
     def _rebuild_fast_paths(self) -> None:
         """Recompile hot-path method bindings after instrumentation changes.
 
@@ -51,6 +59,21 @@ class TargetSystem(ABC):
         return (self.flight is NULL_FLIGHT
                 and self.telemetry is NULL_TELEMETRY
                 and self.faults is NULL_FAULTS)
+
+    def profile_points(self):
+        """Host-profiler attribution points: ``(key, owner, method)``.
+
+        The profiler wraps ``getattr(owner, method)`` instance-side for
+        the session; composite systems override this to also yield
+        their internal station callsites (iMC, DIMM, media, ...).
+        Owners without a ``__dict__`` (slotted stations) are skipped by
+        the profiler — their time lands in the enclosing component's
+        key.
+        """
+        label = self.name
+        yield (f"{label}.read", self, "read")
+        yield (f"{label}.write", self, "write")
+        yield (f"{label}.fence", self, "fence")
 
     @abstractmethod
     def read(self, addr: int, now: int) -> int:

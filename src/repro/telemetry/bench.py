@@ -28,8 +28,13 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.experiments.common import Scale
 from repro.telemetry.manifest import MANIFEST_SCHEMA, run_manifest
 
-#: bench document version (bump on breaking key changes)
-BENCH_SCHEMA = "repro.bench/1"
+#: bench document version (bump on breaking key changes).  /2 adds a
+#: per-entry ``kernel_stats`` snapshot to the kernel suite; /1
+#: documents remain valid baselines (the extra key is never gated).
+BENCH_SCHEMA = "repro.bench/2"
+
+#: schemas accepted as baselines by :func:`validate_bench`
+BENCH_SCHEMAS = ("repro.bench/1", BENCH_SCHEMA)
 
 #: instrumentation counters that count one memory request each — the
 #: denominator-free "how much simulated work happened" measure shared
@@ -221,6 +226,11 @@ def _run_kernel_suite(scale: Scale, seed: int,
             "legacy_events_per_s": round(
                 float(numbers["legacy_events_per_s"]), 2),
             "speedup": round(float(numbers["speedup"]), 3),
+            # engine health snapshot (bucket occupancy, far migrations,
+            # compactions, pool hit rate, batch histogram) — recorded
+            # for observability, never gated: diff_bench only compares
+            # metrics/requests/wall_s/requests_per_s
+            "kernel_stats": numbers.get("kernel_stats", {}),
         }
         total_wall += wall_s
         total_requests += events
@@ -273,9 +283,9 @@ def kernel_gate(doc: Mapping[str, object]) -> List[str]:
 def validate_bench(doc: Mapping[str, object]) -> List[str]:
     """Structural check of a bench document; empty list when valid."""
     problems: List[str] = []
-    if doc.get("schema") != BENCH_SCHEMA:
+    if doc.get("schema") not in BENCH_SCHEMAS:
         problems.append(f"schema is {doc.get('schema')!r}, expected "
-                        f"{BENCH_SCHEMA!r}")
+                        f"one of {', '.join(BENCH_SCHEMAS)}")
     for key in ("suite", "scale", "manifest", "experiments", "totals"):
         if key not in doc:
             problems.append(f"missing key {key!r}")

@@ -8,10 +8,12 @@ Usage::
     repro-bench --suite smoke --gate metrics        # CI: metrics only
     repro-bench --check BENCH_2026-08-05.json       # validate a document
 
-Each run writes ``BENCH_<date>.json`` (schema ``repro.bench/1``): per
+Each run writes ``BENCH_<date>.json`` (schema ``repro.bench/2``): per
 experiment wall seconds, simulated requests, requests/sec, and the
 experiment's model-output metrics; plus run totals (peak RSS included)
 and a full run manifest (git SHA, config hash, seeds, environment).
+Kernel-suite entries additionally carry the engine's ``kernel_stats()``
+health snapshot (never gated — context for diagnosing a perf exit 3).
 
 The fresh run is diffed against the latest prior ``BENCH_*.json`` in the
 output directory (or ``--baseline``).  Exit codes: ``0`` ok / no

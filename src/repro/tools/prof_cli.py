@@ -1,0 +1,264 @@
+"""``repro-prof``: host wall-clock profiling for the simulator itself.
+
+Four subcommands:
+
+* ``run <experiment>`` — run any registry experiment under the
+  profiler and print a top-N self-time table (where the *host's* wall
+  time went, per station callsite);
+* ``kernel <case>`` — profile a ``repro-bench --suite kernel``
+  workload on the optimized engine, attributing per-handler dispatch;
+* ``diff a.json b.json`` — compare two profile documents and name the
+  handlers that moved (turns a bench exit-3 perf regression into a
+  diagnosis);
+* ``health`` — engine kernel-health snapshot scraped from a running
+  serve daemon.
+
+``run``/``kernel`` export the deterministic ``repro.prof/1`` JSON plus
+speedscope, collapsed-stack, and Chrome-trace renderings.  Exit codes:
+0 ok, 2 usage / unreachable daemon, 3 ``diff --fail-on-movers`` found
+significant movers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from time import perf_counter_ns
+from typing import Any, Dict, List, Optional
+
+from repro.prof import (
+    Profiler,
+    diff_profiles,
+    format_movers,
+    profile_from_dict,
+    to_chrome,
+    to_collapsed,
+    to_speedscope,
+)
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_MOVERS = 3
+
+
+def _top_table(doc: Dict[str, Any], top: int) -> str:
+    """Top-N frames by self time, with share-of-total columns."""
+    total = max(1, doc.get("total_self_ns") or 1)
+    frames = sorted(doc.get("frames", {}).items(),
+                    key=lambda kv: (-kv[1]["self_ns"], kv[0]))
+    lines = [f"{'KEY':<44} {'CALLS':>10} {'SELF(ms)':>10} "
+             f"{'CUM(ms)':>10} {'SELF%':>7}"]
+    for key, frame in frames[:top]:
+        lines.append(
+            f"{key:<44} {frame['calls']:>10} "
+            f"{frame['self_ns'] / 1e6:>10.2f} "
+            f"{frame['cum_ns'] / 1e6:>10.2f} "
+            f"{frame['self_ns'] / total:>7.1%}")
+    if len(frames) > top:
+        rest = sum(f["self_ns"] for _, f in frames[top:])
+        lines.append(f"{'(other ' + str(len(frames) - top) + ' keys)':<44} "
+                     f"{'':>10} {rest / 1e6:>10.2f} {'':>10} "
+                     f"{rest / total:>7.1%}")
+    return "\n".join(lines)
+
+
+def _export(doc: Dict[str, Any], args: argparse.Namespace) -> None:
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"profile JSON -> {args.json}")
+    if args.speedscope:
+        with open(args.speedscope, "w") as fh:
+            json.dump(to_speedscope(doc, name=doc["meta"].get(
+                "workload", "repro-prof")), fh, indent=2)
+        print(f"speedscope -> {args.speedscope}")
+    if args.collapsed:
+        with open(args.collapsed, "w") as fh:
+            fh.write(to_collapsed(doc))
+        print(f"collapsed stacks -> {args.collapsed}")
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            json.dump(to_chrome(doc), fh, indent=2)
+        print(f"chrome trace -> {args.chrome}")
+
+
+def _report(doc: Dict[str, Any], wall_ns: int, top: int) -> None:
+    coverage = (doc["total_self_ns"] / wall_ns) if wall_ns else 0.0
+    print(_top_table(doc, top))
+    print(f"\nwall {wall_ns / 1e6:.2f}ms, attributed self time "
+          f"{doc['total_self_ns'] / 1e6:.2f}ms "
+          f"({coverage:.1%} coverage)")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.common import Scale
+    from repro.experiments.exec import REGISTRY, run_experiment
+
+    if args.experiment not in REGISTRY:
+        print(f"error: unknown experiment {args.experiment!r}; known: "
+              f"{', '.join(sorted(REGISTRY))}", file=sys.stderr)
+        return EXIT_USAGE
+    scale = Scale(args.scale)
+    prof = Profiler()
+    start = perf_counter_ns()
+    with prof.frame(f"experiment.{args.experiment}"):
+        run_experiment(args.experiment, scale, args.seed, prof=prof)
+    wall_ns = perf_counter_ns() - start
+    doc = prof.to_dict(wall_ns=wall_ns, meta={
+        "workload": f"experiment.{args.experiment}",
+        "scale": scale.value, "seed": args.seed})
+    _report(doc, wall_ns, args.top)
+    _export(doc, args)
+    return EXIT_OK
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    from repro.engine.event import Engine
+    from repro.engine.kernelbench import CASES, SMOKE_EVENTS
+
+    cases = sorted(CASES) if args.case == "all" else [args.case]
+    unknown = [c for c in cases if c not in CASES]
+    if unknown:
+        print(f"error: unknown kernel case(s) {', '.join(unknown)}; "
+              f"known: {', '.join(sorted(CASES))} (or 'all')",
+              file=sys.stderr)
+        return EXIT_USAGE
+    nevents = args.events if args.events is not None else SMOKE_EVENTS
+    prof = Profiler()
+    start = perf_counter_ns()
+    for case in cases:
+        engine = Engine()
+        prof.attach_engine(engine)
+        with prof.frame(f"kernel.{case}"):
+            CASES[case](engine, nevents, args.seed)
+    wall_ns = perf_counter_ns() - start
+    prof.uninstrument_all()
+    doc = prof.to_dict(wall_ns=wall_ns, meta={
+        "workload": f"kernel.{args.case}", "events": nevents,
+        "seed": args.seed})
+    _report(doc, wall_ns, args.top)
+    _export(doc, args)
+    return EXIT_OK
+
+
+def _load_profile(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        return profile_from_dict(json.load(fh))
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    try:
+        base = _load_profile(args.baseline)
+        cand = _load_profile(args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    movers = diff_profiles(base, cand,
+                           min_share_pts=args.min_share_pts,
+                           min_ratio=args.min_ratio,
+                           min_self_ms=args.min_self_ms)
+    print(format_movers(movers), end="")
+    if movers and args.fail_on_movers:
+        return EXIT_MOVERS
+    return EXIT_OK
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient
+    try:
+        with ServeClient(args.host, args.port,
+                         tenant="repro-prof") as client:
+            doc = client.metrics()
+    # Unreachable daemon is a usage-level condition, not a crash: one
+    # line on stderr and exit 2 (matches repro-top).
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except OSError as exc:
+        print(f"error: cannot reach daemon at {args.host}:{args.port} "
+              f"({exc})", file=sys.stderr)
+        return EXIT_USAGE
+    kernel = (doc.get("pool") or {}).get("kernel") or {}
+    if not kernel:
+        print("no kernel health reported yet (no jobs completed)")
+        return EXIT_OK
+    print(f"engines            {kernel.get('engines', 0)}")
+    print(f"events dispatched  {kernel.get('events', 0)}")
+    print(f"pool hit rate      {kernel.get('pool_hit_rate', 0.0):.1%} "
+          f"(hits {kernel.get('pool_hits', 0)}, "
+          f"misses {kernel.get('pool_misses', 0)})")
+    print(f"far migrations     {kernel.get('far_migrations', 0)}")
+    print(f"compactions        {kernel.get('compactions', 0)} "
+          f"({kernel.get('compacted_entries', 0)} entries)")
+    print(f"singleton lane     {kernel.get('singleton_dispatches', 0)}")
+    print(f"buckets occupied   {kernel.get('buckets', 0)} "
+          f"(far events {kernel.get('far_events', 0)})")
+    hist = kernel.get("batch_hist") or {}
+    if hist:
+        print("batch sizes        "
+              + "  ".join(f"{label}:{hist[label]}"
+                          for label in sorted(hist)))
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-prof",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_exports(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--top", type=int, default=20, metavar="N",
+                       help="rows in the self-time table")
+        p.add_argument("--json", metavar="PATH",
+                       help="write the repro.prof/1 profile document")
+        p.add_argument("--speedscope", metavar="PATH",
+                       help="write a speedscope flamegraph file")
+        p.add_argument("--collapsed", metavar="PATH",
+                       help="write collapsed stacks (flamegraph.pl)")
+        p.add_argument("--chrome", metavar="PATH",
+                       help="write a Chrome trace-event file")
+
+    p_run = sub.add_parser("run", help="profile a registry experiment")
+    p_run.add_argument("experiment")
+    p_run.add_argument("--scale", default="smoke",
+                       choices=("smoke", "paper"))
+    p_run.add_argument("--seed", type=int, default=42)
+    add_exports(p_run)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_kernel = sub.add_parser(
+        "kernel", help="profile a kernelbench workload")
+    p_kernel.add_argument("case",
+                          help="kernelbench case name, or 'all'")
+    p_kernel.add_argument("--events", type=int, default=None)
+    p_kernel.add_argument("--seed", type=int, default=0)
+    add_exports(p_kernel)
+    p_kernel.set_defaults(fn=_cmd_kernel)
+
+    p_diff = sub.add_parser(
+        "diff", help="attribute a regression to moved handlers")
+    p_diff.add_argument("baseline")
+    p_diff.add_argument("candidate")
+    p_diff.add_argument("--min-share-pts", type=float, default=5.0,
+                        help="share-of-total move floor (pct points)")
+    p_diff.add_argument("--min-ratio", type=float, default=1.5,
+                        help="self-time ratio floor")
+    p_diff.add_argument("--min-self-ms", type=float, default=1.0,
+                        help="absolute self-time move floor (ms)")
+    p_diff.add_argument("--fail-on-movers", action="store_true",
+                        help="exit 3 when any mover is reported")
+    p_diff.set_defaults(fn=_cmd_diff)
+
+    p_health = sub.add_parser(
+        "health", help="kernel health from a running serve daemon")
+    p_health.add_argument("--host", default="127.0.0.1")
+    p_health.add_argument("--port", type=int, default=7421)
+    p_health.set_defaults(fn=_cmd_health)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

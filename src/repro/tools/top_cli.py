@@ -152,13 +152,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 time.sleep(args.interval)
     except KeyboardInterrupt:
         return 0
+    # Unreachable daemon is a usage-level condition, not a crash: one
+    # line on stderr and exit 2 (matches repro-prof health).
     except ConnectionError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return 2
     except OSError as exc:
         print(f"error: cannot reach daemon at {args.host}:{args.port} "
               f"({exc})", file=sys.stderr)
-        return 1
+        return 2
 
 
 if __name__ == "__main__":

@@ -322,6 +322,29 @@ class NvramDimm:
     # public request interface (called by the iMC)
     # ------------------------------------------------------------------
 
+    def profile_points(self):
+        """Host-profiler attribution points (see ``TargetSystem``).
+
+        The queueing stations themselves (LSQ, media port, buses) are
+        slotted and can't carry instance-side wrappers; their wall time
+        lands in these enclosing DIMM/AIT/media/wear keys.
+        """
+        yield ("dimm.read_line", self, "read_line")
+        yield ("dimm.write_line", self, "write_line")
+        yield ("dimm.flush", self, "flush")
+        yield ("dimm.flush_wc", self, "_flush_wc")
+        yield ("ait.lookup", self, "_ait_lookup")
+        yield ("ait.insert", self, "_ait_insert")
+        yield ("ait.read_block", self, "_ait_read_block")
+        yield ("ait.write_block", self, "_ait_write_block")
+        yield ("media.access", self.media, "access")
+        yield ("media.access_block", self.media, "access_block")
+        yield ("wear.on_read", self.wear, "on_read")
+        yield ("wear.on_write", self.wear, "on_write")
+        if self.lazy is not None:
+            yield ("lazy.absorb", self.lazy, "absorb")
+            yield ("lazy.flush", self.lazy, "flush")
+
     def _read_line_fast(self, addr: int, now: int) -> int:
         """Uninstrumented :meth:`read_line` (same timing, no flight)."""
         t = self.t

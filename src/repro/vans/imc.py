@@ -86,6 +86,21 @@ class IntegratedMemoryController:
             self.read = self._read_fast
             self.write = self._write_fast
 
+    def profile_points(self):
+        """Host-profiler attribution points (see ``TargetSystem``)."""
+        yield ("imc.read", self, "read")
+        yield ("imc.write", self, "write")
+        yield ("imc.fence", self, "fence")
+        if self.ddrt is not None:
+            for channel in self.ddrt:
+                yield ("ddrt.send_read_request", channel,
+                       "send_read_request")
+                yield ("ddrt.return_read_data", channel,
+                       "return_read_data")
+                yield ("ddrt.send_write", channel, "send_write")
+        for dimm in self.dimms:
+            yield from dimm.profile_points()
+
     def _read_fast(self, addr: int, now: int) -> int:
         """Uninstrumented :meth:`read` (same timing, no flight/faults)."""
         self._c_reads.add()

@@ -55,6 +55,12 @@ class MemoryModeSystem(TargetSystem):
         self._c_writebacks = self.stats.counter("memmode.writebacks")
         self.name = "memory-mode"
 
+    def profile_points(self):
+        yield ("memmode.read", self, "read")
+        yield ("memmode.write", self, "write")
+        yield ("memmode.fence", self, "fence")
+        yield from self.nvram.profile_points()
+
     def _locate(self, addr: int):
         line = addr // CACHE_LINE
         index = line % self.nsets

@@ -64,6 +64,12 @@ class VansSystem(TargetSystem):
             self.__dict__.pop("read", None)
             self.__dict__.pop("write", None)
 
+    def profile_points(self):
+        yield ("vans.read", self, "read")
+        yield ("vans.write", self, "write")
+        yield ("vans.fence", self, "fence")
+        yield from self.imc.profile_points()
+
     def _read_fast(self, addr: int, now: int) -> int:
         done = self.imc.read(addr, now + self._frontend_read_ps)
         if self._collect:
