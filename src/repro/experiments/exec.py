@@ -32,13 +32,13 @@ from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple)
 
 from repro import registry
-from repro.common.errors import UnknownExperimentError
+from repro.common.errors import UnknownExperimentError, _suggest
 from repro.experiments import ablation, bandwidth_matrix, characterize
 from repro.experiments import energy_study, fig01, fig03, fig05, fig06
 from repro.experiments import fig07, fig09, fig10, fig11, fig12, fig13
 from repro.experiments import numa_study, scaling, tables
 from repro.experiments.common import ExperimentResult, Scale
-from repro.faults.injector import FaultInjector
+from repro.faults.injector import NULL_FAULTS, FaultInjector
 from repro.faults.injector import session as faults_session
 from repro.faults.persistence import PersistenceChecker
 from repro.faults.plan import FaultPlan
@@ -290,56 +290,115 @@ def run_experiment(exp_id: str, scale: Scale = Scale.SMOKE,
     return results
 
 
-#: request-stream ops understood by :func:`run_stream`
-_STREAM_OPS = ("read", "write", "fence")
+#: request-stream ops understood by :func:`run_stream` — the full
+#: persistency vocabulary: ``read``/``write`` (nt-store) hit the memory
+#: system as before, ``write_nt`` is an explicit nt-store alias,
+#: ``store`` is a regular cached store (volatile until flushed+fenced),
+#: ``flush`` is a ``clwb``/``clflushopt``-style cache-line write-back,
+#: and ``fence`` drains/orders.
+_STREAM_OPS = ("read", "write", "write_nt", "store", "flush", "fence")
+
+#: simulated retire latency of a regular cached store.  A store
+#: completes into the CPU cache hierarchy, never reaching the memory
+#: system the simulator models, so its cost is a constant — what
+#: matters for persistency is program order, which back-to-back
+#: issuance preserves.
+_STORE_PS = 1_000
 
 
 def run_stream(target: str, ops: Sequence[Mapping[str, object]],
                overrides: Optional[Mapping[str, object]] = None,
+               faults: Optional[Mapping[str, object]] = None,
                session: Optional[Mapping[str, object]] = None,
                progress: Optional[ProgressReporter] = None,
                prof: Optional[Profiler] = None
                ) -> Dict[str, object]:
     """Drive a registry target with a raw request stream.
 
-    Each op is a mapping ``{"op": "read"|"write"|"fence"}`` with
-    optional ``addr`` (default 0), ``count`` (default 1), and ``stride``
-    (default 64) so clients can express compact sweeps without shipping
-    one JSON object per request.  Ops execute back-to-back in simulated
-    time (each issues at the prior op's completion), which makes the
-    outcome a pure function of the stream — the served/batch
-    bit-identity contract for raw streams.
+    Each op is a mapping ``{"op": <one of _STREAM_OPS>}`` with optional
+    ``addr`` (default 0), ``count`` (default 1), and ``stride`` (default
+    64) so clients can express compact sweeps without shipping one JSON
+    object per request.  Ops execute back-to-back in simulated time
+    (each issues at the prior op's completion), which makes the outcome
+    a pure function of the stream — the served/batch bit-identity
+    contract for raw streams.
+
+    Op semantics:
+
+    * ``read`` / ``write`` — memory-system accesses as before
+      (``write`` is the nt-store path; its return is the persistence
+      point);
+    * ``write_nt`` — explicit nt-store.  Uses the target's ``write_nt``
+      method when it has one (the PMEP emulator), else ``write``;
+    * ``store`` — a regular cached store: retires in ``_STORE_PS`` of
+      CPU time without touching the memory system, acknowledged in the
+      ``cache`` persistence domain (volatile until flushed + fenced);
+    * ``flush`` — cache-line write-back (``clwb``/``clflushopt``).
+      Rides the write datapath for timing, recorded as a flush (not an
+      ack) in the persistence history via the injector's flush scope;
+    * ``fence`` — drain/order (``sfence`` after nt-stores, the
+      persistence barrier after flushes).
+
+    ``faults`` is a plan document (``repro.faultplan/1`` mapping or a
+    :class:`FaultPlan`): a per-stream :class:`FaultInjector` +
+    :class:`PersistenceChecker` are constructed here and attached to
+    the target build, and the result carries the fault report — with
+    the persistence audit when a power cut triggered — under
+    ``"faults"`` (``{}`` when no plan).  This is what the litmus
+    harness (:mod:`repro.litmus`) builds on.
 
     Returns a JSON-safe summary: per-op counts, final simulated time,
-    cumulative latency, and the target's instrumentation snapshot.
+    cumulative latency, the target's instrumentation snapshot, and the
+    fault report.
     """
-    with progress_session(progress), prof_session(prof), \
+    injector: Optional[FaultInjector] = None
+    if faults is not None:
+        plan = (faults if isinstance(faults, FaultPlan)
+                else FaultPlan.from_dict(faults))
+        injector = FaultInjector(plan, checker=PersistenceChecker())
+    fa_session = (faults_session(injector) if injector is not None
+                  else nullcontext())
+    with fa_session, progress_session(progress), prof_session(prof), \
             Collection() as collection:
         if progress is not None:
             progress.phase(f"stream:{target}")
         system = registry.acquire(target, **dict(overrides or {}))
+        fa = injector if injector is not None else NULL_FAULTS
         now = 0
         counts = {op: 0 for op in _STREAM_OPS}
         busy_ps = 0
         for item in ops:
             op = str(item.get("op", "read"))
             if op not in _STREAM_OPS:
-                raise ValueError(f"unknown stream op {op!r}; "
-                                 f"choose from: {', '.join(_STREAM_OPS)}")
+                raise ValueError(
+                    f"unknown stream op {op!r}"
+                    f"{_suggest(op, _STREAM_OPS)}"
+                    f"; choose from: {', '.join(_STREAM_OPS)}")
             addr = int(item.get("addr", 0))
             count = int(item.get("count", 1))
             stride = int(item.get("stride", 64))
-            method = getattr(system, op)
             for i in range(count):
                 issued = now
                 if op == "fence":
-                    now = method(now)
-                else:
+                    now = system.fence(now)
+                elif op == "store":
+                    now = issued + _STORE_PS
+                    fa.note_store(addr + i * stride, now)
+                elif op == "flush":
+                    with fa.flush_scope():
+                        now = system.write(addr + i * stride, now)
+                elif op == "write_nt":
+                    method = getattr(system, "write_nt", None) or system.write
                     now = method(addr + i * stride, now)
+                else:
+                    now = getattr(system, op)(addr + i * stride, now)
                 busy_ps += now - issued
             counts[op] += count
         snapshot = collection.merged()
     _release_collected(collection)
+    faults_doc: Dict[str, object] = {}
+    if injector is not None:
+        faults_doc = fault_report(injector)
     total = sum(counts.values())
     return {
         "target": target,
@@ -350,6 +409,7 @@ def run_stream(target: str, ops: Sequence[Mapping[str, object]],
         "busy_ps": busy_ps,
         "mean_latency_ps": (busy_ps / total) if total else 0.0,
         "instrumentation": snapshot,
+        "faults": faults_doc,
         "session": dict(session) if session is not None else {},
     }
 

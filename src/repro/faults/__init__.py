@@ -45,10 +45,12 @@ from repro.faults.plan import (
     validate_plan,
 )
 from repro.faults.persistence import (
+    LOSS_REASONS,
     PERSISTENCE_SCHEMA,
     PersistenceChecker,
     PersistenceReport,
     validate_persistence,
+    validate_report,
 )
 from repro.faults.report import (
     FAULTREPORT_SCHEMA,
@@ -61,6 +63,7 @@ __all__ = [
     "FAULTPLAN_SCHEMA",
     "FAULTREPORT_SCHEMA",
     "KINDS",
+    "LOSS_REASONS",
     "NULL_FAULTS",
     "PERSISTENCE_SCHEMA",
     "FaultInjector",
@@ -80,4 +83,5 @@ __all__ = [
     "validate_fault_report",
     "validate_persistence",
     "validate_plan",
+    "validate_report",
 ]

@@ -70,8 +70,15 @@ class NullFaultInjector:
     def note_write(self, addr: int, issue_ps: int, accept_ps: int) -> None:
         pass
 
+    def note_store(self, addr: int, t: int) -> None:
+        pass
+
     def note_fence(self, done_ps: int) -> None:
         pass
+
+    @contextmanager
+    def flush_scope(self) -> Iterator[None]:
+        yield
 
     def note_lazy_absorb(self, addr: int, now: int) -> None:
         pass
@@ -152,6 +159,9 @@ class FaultInjector:
         #: fault kinds already marked on the flight timeline (each kind
         #: gets one instant at its first manifestation, not per hit)
         self._announced: set = set()
+        #: >0 while inside :meth:`flush_scope` — write completions are
+        #: then recorded as cache-line flushes, not WPQ acknowledgements
+        self._flush_depth = 0
         for spec in plan.specs:
             self._arm(spec)
 
@@ -268,7 +278,34 @@ class FaultInjector:
         if accept_ps > self.horizon_ps:
             self.horizon_ps = accept_ps
         if self.checker is not None:
-            self.checker.ack(addr, accept_ps, domain="wpq")
+            if self._flush_depth:
+                # a flush rides the nt-store datapath for timing, but
+                # persistency-wise it writes back an existing cache line
+                # rather than acknowledging new data
+                self.checker.flush(addr, accept_ps)
+            else:
+                self.checker.ack(addr, accept_ps, domain="wpq")
+
+    def note_store(self, addr: int, t: int) -> None:
+        """A regular (cached) store retired at ``t`` — acknowledged to
+        the program but volatile until flushed and fenced."""
+        if t > self.horizon_ps:
+            self.horizon_ps = t
+        if self.checker is not None:
+            self.checker.ack(addr, t, domain="cache")
+
+    @contextmanager
+    def flush_scope(self) -> Iterator[None]:
+        """While active, writes reported via :meth:`note_write` are
+        recorded as cache-line flushes (``clwb``/``clflushopt``) instead
+        of acknowledged nt-stores.  Lets stream drivers reuse the
+        write datapath for flush timing without poisoning the
+        persistence history with phantom WPQ acks."""
+        self._flush_depth += 1
+        try:
+            yield
+        finally:
+            self._flush_depth -= 1
 
     def note_fence(self, done_ps: int) -> None:
         if done_ps > self.horizon_ps:

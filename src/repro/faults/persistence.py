@@ -85,6 +85,30 @@ class PersistenceReport:
             "saturated": self.saturated,
         }
 
+    #: reports are round-trippable documents; ``to_dict`` is the
+    #: canonical name (``as_dict`` kept as the historical alias)
+    to_dict = as_dict
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "PersistenceReport":
+        """Rebuild a report from its :meth:`to_dict` document.
+
+        Raises :class:`~repro.common.errors.FaultPlanError` when the
+        document fails :func:`validate_report`.
+        """
+        problems = validate_report(doc)
+        if problems:
+            raise FaultPlanError(
+                "invalid persistence report: " + "; ".join(problems))
+        return cls(
+            cut_ps=doc["cut_ps"],
+            acked_lines=doc["acked_lines"],
+            durable_lines=doc["durable_lines"],
+            lost=[dict(entry) for entry in doc["lost"]],
+            by_domain=dict(doc["by_domain"]),
+            saturated=bool(doc.get("saturated", False)),
+        )
+
     def render(self) -> str:
         out = [f"== persistence check @ cut t={self.cut_ps} ps =="]
         out.append(f"acknowledged lines: {self.acked_lines} "
@@ -101,28 +125,120 @@ class PersistenceReport:
         return "\n".join(out)
 
 
-def validate_persistence(doc: Mapping[str, Any]) -> List[str]:
-    """Structural check of a persistence report; empty when valid."""
+#: loss reasons each acknowledgement domain can report
+LOSS_REASONS = {
+    "wpq": ("lazy_dirty",),
+    "cache": ("unflushed", "unfenced"),
+    "lazy": ("not_written_back",),
+}
+
+
+def validate_report(doc: Mapping[str, Any]) -> List[str]:
+    """Full structural + type check of a persistence-report document
+    (mirrors :func:`~repro.faults.plan.validate_plan`); empty when
+    valid.  Checked beyond key presence:
+
+    * integer counters are non-negative ints (bools rejected);
+    * ``lost`` entries carry int ``addr``/``ack_ps`` and a known
+      ``domain``/``reason`` pairing;
+    * the counting invariants hold: ``lost_count == len(lost)``,
+      ``acked_lines == durable_lines + lost_count``, and ``by_domain``
+      sums to ``acked_lines``.
+    """
     problems: List[str] = []
+    if not isinstance(doc, Mapping):
+        return ["report document is not a mapping"]
     if doc.get("schema") != PERSISTENCE_SCHEMA:
         problems.append(f"schema is {doc.get('schema')!r}, expected "
                         f"{PERSISTENCE_SCHEMA!r}")
-    for key in ("cut_ps", "acked_lines", "durable_lines", "lost_count",
-                "lost", "by_domain"):
+
+    def _int_field(key: str, minimum: int = 0) -> Any:
         if key not in doc:
             problems.append(f"missing key {key!r}")
+            return None
+        value = doc[key]
+        if isinstance(value, bool) or not isinstance(value, int):
+            problems.append(f"{key} is {value!r}, expected an int")
+            return None
+        if value < minimum:
+            problems.append(f"{key} is {value}, expected >= {minimum}")
+        return value
+
+    _int_field("cut_ps")
+    acked = _int_field("acked_lines")
+    durable = _int_field("durable_lines")
+    lost_count = _int_field("lost_count")
+
     lost = doc.get("lost")
-    if isinstance(lost, list):
-        if doc.get("lost_count") != len(lost):
+    if "lost" not in doc:
+        problems.append("missing key 'lost'")
+    elif not isinstance(lost, list):
+        problems.append(f"lost is {type(lost).__name__}, expected a list")
+    else:
+        if lost_count is not None and lost_count != len(lost):
             problems.append("lost_count does not match len(lost)")
         for index, entry in enumerate(lost):
             if not isinstance(entry, Mapping):
                 problems.append(f"lost[{index}] is not a mapping")
                 continue
-            for key in ("addr", "ack_ps", "domain", "reason"):
+            for key in ("addr", "ack_ps"):
+                value = entry.get(key)
                 if key not in entry:
                     problems.append(f"lost[{index}] missing {key!r}")
+                elif isinstance(value, bool) or not isinstance(value, int):
+                    problems.append(
+                        f"lost[{index}].{key} is {value!r}, expected an int")
+            domain = entry.get("domain")
+            if "domain" not in entry:
+                problems.append(f"lost[{index}] missing 'domain'")
+            elif domain not in DOMAINS:
+                problems.append(f"lost[{index}].domain is {domain!r}, "
+                                f"expected one of {DOMAINS}")
+            reason = entry.get("reason")
+            if "reason" not in entry:
+                problems.append(f"lost[{index}] missing 'reason'")
+            elif domain in LOSS_REASONS and \
+                    reason not in LOSS_REASONS[domain]:
+                problems.append(
+                    f"lost[{index}].reason is {reason!r}, expected one of "
+                    f"{LOSS_REASONS[domain]} for domain {domain!r}")
+
+    by_domain = doc.get("by_domain")
+    if "by_domain" not in doc:
+        problems.append("missing key 'by_domain'")
+    elif not isinstance(by_domain, Mapping):
+        problems.append("by_domain is not a mapping")
+    else:
+        total = 0
+        ok = True
+        for domain, count in by_domain.items():
+            if domain not in DOMAINS:
+                problems.append(f"by_domain key {domain!r} is not one of "
+                                f"{DOMAINS}")
+                ok = False
+            if isinstance(count, bool) or not isinstance(count, int) \
+                    or count < 0:
+                problems.append(f"by_domain[{domain!r}] is {count!r}, "
+                                f"expected a non-negative int")
+                ok = False
+            else:
+                total += count
+        if ok and acked is not None and total != acked:
+            problems.append(f"by_domain sums to {total}, expected "
+                            f"acked_lines={acked}")
+    if "saturated" in doc and not isinstance(doc["saturated"], bool):
+        problems.append(f"saturated is {doc['saturated']!r}, expected a bool")
+    if None not in (acked, durable, lost_count) and \
+            acked != durable + lost_count:
+        problems.append(
+            f"acked_lines ({acked}) != durable_lines ({durable}) "
+            f"+ lost_count ({lost_count})")
     return problems
+
+
+def validate_persistence(doc: Mapping[str, Any]) -> List[str]:
+    """Historical alias for :func:`validate_report`."""
+    return validate_report(doc)
 
 
 class PersistenceChecker:

@@ -1,0 +1,321 @@
+"""The litmus campaign driver: thousands of seeded cases per run.
+
+Case seeds derive from one campaign seed
+(:func:`repro.common.rng.make_rng`, stream ``litmus-campaign``), and
+targets round-robin over the fuzzed set, so one integer reproduces the
+whole campaign bit-for-bit.  Execution modes:
+
+* **serial** — in-process, the default;
+* **parallel** (``workers > 1``) — cases are batched into child
+  processes driven by the same crash-tolerant scheme as the experiment
+  runner (:mod:`repro.experiments.runner`): per-batch watchdog
+  deadline, exponential-backoff retries, quarantine after the retry
+  budget — a hung or crashed simulator build loses one batch, never
+  the campaign;
+* **thin client** — every case is submitted as a stream job through a
+  running ``repro-serve`` daemon, exercising the serve plane as
+  fuzzing infrastructure.
+
+Campaign counters ride a real
+:class:`~repro.instrument.InstrumentBus` (``litmus.cases``,
+``litmus.violations``, …) whose snapshot lands in the report, and
+progress frames flow through an attached
+:class:`~repro.progress.ProgressReporter` (simulated time = cumulative
+``sim_end_ps`` across finished cases).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.rng import make_rng
+from repro.experiments.exec import (BACKOFF_S, EXIT_ALL_FAILED, EXIT_OK,
+                                    EXIT_PARTIAL, _mp_context)
+from repro.instrument import InstrumentBus
+from repro.litmus.oracle import check, outcome_of, run_case
+from repro.litmus.program import DEFAULT_TARGETS, LitmusCase, random_case
+
+#: campaign-report document version
+LITMUS_CAMPAIGN_SCHEMA = "repro.litmus-campaign/1"
+
+#: CLIs return this when the oracle caught a contract violation
+EXIT_VIOLATION = 3
+
+#: cases per watchdogged child batch (small enough that losing a
+#: quarantined batch costs little, large enough to amortize the fork)
+_BATCH = 25
+
+#: cap on violation/loss-example payloads carried in the report
+_MAX_EXAMPLES = 20
+
+
+class _BusView:
+    """Adapter letting a ProgressReporter snapshot the campaign bus."""
+
+    def __init__(self, bus: InstrumentBus) -> None:
+        self._bus = bus
+
+    def instrument_snapshot(self) -> Dict[str, Any]:
+        return self._bus.snapshot()
+
+
+def _case_for(campaign_seed: int, index: int, case_seed: int,
+              targets: Sequence[str]) -> LitmusCase:
+    target = targets[index % len(targets)]
+    case = random_case(case_seed, target=target)
+    return LitmusCase(
+        name=f"campaign-{campaign_seed}-{index}-{target}",
+        target=case.target, overrides=case.overrides, ops=case.ops,
+        cut_at_request=case.cut_at_request, seed=case.seed)
+
+
+def _run_one(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one case doc; JSON-safe per-case record."""
+    case = LitmusCase.from_dict(doc)
+    result = run_case(case)
+    verdict = check(case, result)
+    return {
+        "case": doc,
+        "ok": verdict.ok,
+        "violations": [dict(v) for v in verdict.violations],
+        "outcome": dict(verdict.outcome),
+        "contract": verdict.contract,
+        "sim_end_ps": int(result.get("sim_end_ps", 0)),
+    }
+
+
+def _litmus_child(conn, batch: List[Dict[str, Any]]) -> None:
+    """Child-process entry: run one batch, ship records over the pipe."""
+    try:
+        conn.send(("ok", [_run_one(doc) for doc in batch]))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _run_parallel(batches: List[List[Dict[str, Any]]], workers: int,
+                  timeout_s: float, retries: int
+                  ) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Watchdogged batch fan-out; returns (records, failures).
+
+    Mirrors the experiment runner's crash tolerance: a batch that hangs
+    past ``timeout_s`` is terminated, a crashed/hung batch is relaunched
+    with exponential backoff up to ``retries`` extra attempts, then
+    quarantined (its cases are reported failed, the campaign goes on).
+    """
+    import multiprocessing.connection
+
+    ctx = _mp_context()
+    pending = deque((index, 1, 0.0) for index in range(len(batches)))
+    running: Dict[Any, Tuple[int, int, Any, float]] = {}
+    records: List[Dict[str, Any]] = []
+    failures: List[Dict[str, Any]] = []
+
+    def _quarantine(index: int, attempt: int, error: str) -> None:
+        for doc in batches[index]:
+            failures.append({"case": doc, "error": error,
+                             "attempts": attempt})
+
+    while pending or running:
+        now = time.time()
+        launched = False
+        for _ in range(len(pending)):
+            if len(running) >= workers:
+                break
+            index, attempt, not_before = pending.popleft()
+            if now < not_before:
+                pending.append((index, attempt, not_before))
+                continue
+            parent, child = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_litmus_child,
+                               args=(child, batches[index]), daemon=True)
+            proc.start()
+            child.close()
+            running[parent] = (index, attempt, proc,
+                               time.time() + timeout_s)
+            launched = True
+        if not running:
+            if pending and not launched:
+                time.sleep(min(BACKOFF_S,
+                               max(0.0, min(nb for _, _, nb in pending)
+                                   - time.time())) or 0.05)
+            continue
+        deadline = min(entry[3] for entry in running.values())
+        ready = multiprocessing.connection.wait(
+            list(running), timeout=max(0.0, deadline - time.time()))
+        now = time.time()
+        settled = list(ready)
+        settled.extend(conn for conn, entry in running.items()
+                       if conn not in ready and now >= entry[3])
+        for conn in settled:
+            index, attempt, proc, _dl = running.pop(conn)
+            outcome: Tuple[str, Any]
+            if conn in ready:
+                try:
+                    outcome = conn.recv()
+                except EOFError:
+                    outcome = ("error",
+                               f"worker died (exit {proc.exitcode})")
+            else:
+                outcome = ("error", f"batch timed out after {timeout_s}s")
+                proc.terminate()
+            conn.close()
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+            status, payload = outcome
+            if status == "ok":
+                records.extend(payload)
+            elif attempt <= retries:
+                backoff = BACKOFF_S * 2 ** (attempt - 1)
+                pending.append((index, attempt + 1,
+                                time.time() + backoff))
+            else:
+                _quarantine(index, attempt, str(payload))
+    return records, failures
+
+
+def run_campaign(seed: int, cases: int,
+                 targets: Sequence[str] = DEFAULT_TARGETS,
+                 workers: int = 1,
+                 timeout_s: float = 120.0,
+                 retries: int = 1,
+                 client: Optional[Any] = None,
+                 progress: Optional[Any] = None,
+                 bus: Optional[InstrumentBus] = None) -> Dict[str, Any]:
+    """Run a seeded litmus campaign; returns the campaign report.
+
+    ``client`` switches every case to thin-client execution through a
+    ``repro-serve`` daemon (serial; the daemon owns parallelism).
+    ``progress`` is a live :class:`~repro.progress.ProgressReporter`.
+    """
+    bus = bus if bus is not None else InstrumentBus()
+    c_cases = bus.counter("litmus.cases")
+    c_ok = bus.counter("litmus.ok")
+    c_violations = bus.counter("litmus.violations")
+    c_losses = bus.counter("litmus.losses")
+    c_cuts = bus.counter("litmus.cuts")
+    c_failed = bus.counter("litmus.failed")
+
+    rng = make_rng(seed, "litmus-campaign")
+    case_docs = [
+        _case_for(seed, index, rng.getrandbits(32), targets).to_dict()
+        for index in range(cases)]
+
+    if progress is not None:
+        progress.attach(_BusView(bus))
+        progress.phase("litmus-campaign")
+
+    records: List[Dict[str, Any]]
+    failures: List[Dict[str, Any]]
+    if workers > 1 and client is None:
+        batches = [case_docs[start:start + _BATCH]
+                   for start in range(0, len(case_docs), _BATCH)]
+        records, failures = _run_parallel(batches, workers,
+                                          timeout_s, retries)
+    else:
+        records, failures = [], []
+        sim_total = 0
+        for doc in case_docs:
+            if client is not None:
+                case = LitmusCase.from_dict(doc)
+                try:
+                    result = run_case(case, client=client)
+                except Exception:
+                    failures.append({"case": doc,
+                                     "error": traceback.format_exc(),
+                                     "attempts": 1})
+                    continue
+                verdict = check(case, result)
+                record = {"case": doc, "ok": verdict.ok,
+                          "violations": [dict(v)
+                                         for v in verdict.violations],
+                          "outcome": dict(verdict.outcome),
+                          "contract": verdict.contract,
+                          "sim_end_ps": int(result.get("sim_end_ps", 0))}
+            else:
+                try:
+                    record = _run_one(doc)
+                except Exception:
+                    failures.append({"case": doc,
+                                     "error": traceback.format_exc(),
+                                     "attempts": 1})
+                    continue
+            records.append(record)
+            sim_total += record["sim_end_ps"]
+            if progress is not None:
+                progress.tick(sim_total)
+
+    violations: List[Dict[str, Any]] = []
+    loss_families: Dict[str, int] = {}
+    loss_examples: List[Dict[str, Any]] = []
+    seen_families = set()
+    for record in records:
+        c_cases.add()
+        if record["ok"]:
+            c_ok.add()
+        else:
+            c_violations.add()
+            for violation in record["violations"]:
+                if len(violations) < _MAX_EXAMPLES:
+                    violations.append({"name": record["case"]["name"],
+                                       "case": record["case"],
+                                       **violation})
+        outcome = record["outcome"]
+        if outcome.get("cut"):
+            c_cuts.add()
+        for entry in outcome.get("lost", ()):
+            c_losses.add()
+            family = (f"{record['case']['target']}/{entry[1]}/"
+                      f"{entry[2]}")
+            loss_families[family] = loss_families.get(family, 0) + 1
+            if family not in seen_families \
+                    and len(loss_examples) < _MAX_EXAMPLES:
+                seen_families.add(family)
+                example = dict(record["case"])
+                example["expected"] = dict(outcome)
+                loss_examples.append({"family": family, "case": example})
+    for _failure in failures:
+        c_failed.add()
+
+    if progress is not None:
+        progress.finalize()
+
+    report = {
+        "schema": LITMUS_CAMPAIGN_SCHEMA,
+        "seed": seed,
+        "cases": cases,
+        "targets": list(targets),
+        "workers": workers,
+        "completed": len(records),
+        "failed": len(failures),
+        "violation_count": sum(1 for r in records if not r["ok"]),
+        "violations": violations,
+        "loss_families": loss_families,
+        "loss_examples": loss_examples,
+        "failures": [{"name": f["case"]["name"], "error": f["error"],
+                      "attempts": f["attempts"]} for f in failures],
+        "counters": bus.snapshot(),
+    }
+    report["exit_code"] = campaign_exit_code(report)
+    return report
+
+
+def campaign_exit_code(report: Dict[str, Any]) -> int:
+    """3 on any oracle violation, 1 when nothing completed, 4 on a
+    partial campaign, 0 when everything ran clean."""
+    if report.get("violation_count"):
+        return EXIT_VIOLATION
+    if report.get("cases") and not report.get("completed"):
+        return EXIT_ALL_FAILED
+    if report.get("failed"):
+        return EXIT_PARTIAL
+    return EXIT_OK

@@ -1,0 +1,124 @@
+"""The litmus corpus: known-outcome cases CI replays as a gate.
+
+A corpus is a ``repro.litmus/1`` document holding litmus cases with
+their ``expected`` canonical outcomes (see
+:func:`repro.litmus.oracle.outcome_of` — timestamp-free, so timing
+and performance changes don't invalidate it; only *persistency*
+semantics do).  :func:`replay_corpus` re-executes every case and
+reports drift: an outcome change, or a fresh oracle violation.  Any
+drift means the model's persistency behavior moved — exactly what a
+reviewer must see before it lands.
+
+The committed corpus lives at ``corpus/litmus.json`` and includes the
+vans-lazy loss family (an acknowledged-write loss through the Lazy
+cache), so the Section V-C betrayal scenario is pinned forever.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.common.errors import FaultPlanError
+from repro.litmus.oracle import check, outcome_of, run_case
+from repro.litmus.program import LITMUS_SCHEMA, LitmusCase, validate_case
+
+#: the corpus document shares the case schema version
+CORPUS_SCHEMA = LITMUS_SCHEMA
+
+
+def validate_corpus(doc: Mapping[str, Any]) -> List[str]:
+    """Structural check of a corpus document; empty when valid."""
+    problems: List[str] = []
+    if not isinstance(doc, Mapping):
+        return ["corpus document is not a mapping"]
+    if doc.get("schema") != CORPUS_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected "
+                        f"{CORPUS_SCHEMA!r}")
+    cases = doc.get("cases")
+    if not isinstance(cases, list):
+        return problems + ["missing or non-list 'cases'"]
+    names = set()
+    for index, entry in enumerate(cases):
+        if not isinstance(entry, Mapping):
+            problems.append(f"cases[{index}] is not a mapping")
+            continue
+        problems.extend(f"cases[{index}]: {p}" for p in validate_case(entry))
+        name = entry.get("name")
+        if name in names:
+            problems.append(f"cases[{index}]: duplicate name {name!r}")
+        names.add(name)
+        expected = entry.get("expected")
+        if not isinstance(expected, Mapping):
+            problems.append(f"cases[{index}] missing 'expected' outcome")
+        else:
+            for key in ("cut", "acked_lines", "durable_lines", "lost"):
+                if key not in expected:
+                    problems.append(f"cases[{index}].expected missing "
+                                    f"{key!r}")
+    return problems
+
+
+def load_corpus(path: Union[str, Path]) -> Dict[str, Any]:
+    doc = json.loads(Path(path).read_text())
+    problems = validate_corpus(doc)
+    if problems:
+        raise FaultPlanError(f"invalid litmus corpus {path}: "
+                             + "; ".join(problems))
+    return doc
+
+
+def save_corpus(path: Union[str, Path],
+                cases: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Write case docs (each with ``expected``) as a corpus file."""
+    doc = {"schema": CORPUS_SCHEMA, "cases": list(cases)}
+    problems = validate_corpus(doc)
+    if problems:
+        raise FaultPlanError("refusing to save invalid corpus: "
+                             + "; ".join(problems))
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True)
+                          + "\n")
+    return doc
+
+
+def case_entry(case: LitmusCase,
+               client: Optional[Any] = None) -> Dict[str, Any]:
+    """Run ``case`` and stamp its document with the observed outcome
+    (the form :func:`replay_corpus` later re-checks)."""
+    verdict = check(case, run_case(case, client=client))
+    entry = case.to_dict()
+    entry["expected"] = dict(verdict.outcome)
+    return entry
+
+
+def replay_corpus(doc: Mapping[str, Any],
+                  client: Optional[Any] = None) -> Dict[str, Any]:
+    """Re-execute every corpus case; returns the drift report.
+
+    ``{"checked": n, "drift": [...], "violations": [...]}`` — drift
+    entries name the case and describe the expected vs. observed
+    outcome; violations are fresh oracle failures.  An empty drift
+    *and* violation list is the CI gate's pass condition.
+    """
+    drift: List[Dict[str, Any]] = []
+    violations: List[Dict[str, Any]] = []
+    checked = 0
+    for entry in doc.get("cases", ()):
+        case = LitmusCase.from_dict(entry)
+        checked += 1
+        result = run_case(case, client=client)
+        verdict = check(case, result)
+        observed = outcome_of(result)
+        expected = {key: entry["expected"].get(key)
+                    for key in ("cut", "acked_lines", "durable_lines",
+                                "lost")}
+        normalized = dict(observed)
+        normalized["lost"] = [list(item) for item in observed["lost"]]
+        expected["lost"] = [list(item) for item in (expected["lost"] or [])]
+        if normalized != expected:
+            drift.append({"name": case.name, "expected": expected,
+                          "observed": normalized})
+        for violation in verdict.violations:
+            violations.append({"name": case.name, **violation})
+    return {"checked": checked, "drift": drift, "violations": violations}

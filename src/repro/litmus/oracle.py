@@ -1,0 +1,280 @@
+"""The litmus oracle: target-aware ADR persistency contracts.
+
+Executes a :class:`~repro.litmus.program.LitmusCase` through the real
+stream executor (:func:`repro.experiments.exec.run_stream`, or a
+``repro-serve`` client — the thin-client fuzzing path) and judges the
+resulting ``repro.persistence/1`` audit against what the target's
+persistence contract *must* guarantee.
+
+Contract levels
+---------------
+
+``adr``
+    ``vans`` / ``vans-6dimm`` without the Lazy cache.  The WPQ is the
+    persistence point: **any** lost WPQ-acknowledged write is a model
+    bug, and no ``lazy``-domain acknowledgement may exist at all.
+``adr-lazy``
+    Lazy-cache targets (``vans-lazy``, or ``lazy_cache=True``
+    overrides).  WPQ losses are permitted — that is the Section V-C
+    betrayal the checker exists to expose — but only with reason
+    ``lazy_dirty``; ``lazy``-domain losses only with
+    ``not_written_back``.
+``none``
+    Memory Mode and the DRAM-era baselines: no persistence contract
+    (Memory Mode's DRAM cache also absorbs hits before the iMC, so
+    program-level cut ordinals don't map to its request counter).
+    Only structural report validity is checked.
+
+On top of the per-domain rules, two *program-order* invariants are
+checked for the ``cache`` domain on every contract that has one.  Both
+are deliberately tie-robust: simulated timestamps can tie (the WPQ
+admits at issue time when it has room), so the oracle only claims what
+must hold for **every** legal tie-break — an op strictly before the
+cut-triggering op completes at or before the cut time, and only lines
+whose whole event history is on one side of the cut are judged:
+
+MUST-durable
+    the line's last acknowledging op in the entire program is a
+    ``store`` strictly before the cut op, followed (in program order,
+    still strictly before the cut op) by a ``flush`` of that line and
+    then a ``fence``.  Reporting that line lost is a violation.
+MUST-lost
+    the line's last acknowledging op is a ``store`` strictly before
+    the cut op and **no** flush of that line appears anywhere in the
+    program.  Reporting that line durable is a violation
+    (``unflushed`` is the only legal reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.experiments import exec as exec_core
+from repro.faults.persistence import validate_report
+from repro.litmus.program import REQUEST_OPS, LitmusCase
+
+#: target name -> contract level (overrides can flip vans-family
+#: targets between ``adr`` and ``adr-lazy``; anything unlisted is
+#: ``none``)
+CONTRACTS = {
+    "vans": "adr",
+    "vans-6dimm": "adr",
+    "vans-lazy": "adr-lazy",
+    "memory-mode": "none",
+}
+
+_LINE = 64
+
+
+def contract_for(target: str, overrides: Mapping[str, Any]) -> str:
+    """The persistence contract a (target, overrides) build honors."""
+    level = CONTRACTS.get(target, "none")
+    lazy = overrides.get("lazy_cache")
+    if lazy is True and level == "adr":
+        return "adr-lazy"
+    if lazy is False and level == "adr-lazy":
+        return "adr"
+    return level
+
+
+@dataclass
+class Verdict:
+    """The oracle's judgement of one executed litmus case."""
+
+    #: contract violations: ``{"kind": ..., "detail": ...}`` — empty
+    #: means the model honored its persistency contract
+    violations: List[Dict[str, str]] = field(default_factory=list)
+    #: canonical outcome (corpus ``expected`` form): whether the cut
+    #: fired, line counts, and the sorted ``[addr, domain, reason]``
+    #: loss list.  Deliberately excludes timestamps so perf/timing
+    #: changes don't invalidate a committed corpus.
+    outcome: Dict[str, Any] = field(default_factory=dict)
+    #: the contract the case was judged against
+    contract: str = "none"
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def losses(self) -> List[List[Any]]:
+        return list(self.outcome.get("lost", ()))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"ok": self.ok, "contract": self.contract,
+                "violations": [dict(v) for v in self.violations],
+                "outcome": dict(self.outcome)}
+
+
+def run_case(case: LitmusCase, client: Optional[Any] = None
+             ) -> Dict[str, Any]:
+    """Execute one case; returns the ``run_stream`` result dict.
+
+    With ``client`` (a :class:`~repro.serve.client.ServeClient`), the
+    case is submitted as a stream job through the serve plane instead
+    of running in-process — byte-identical results either way (the
+    served/batch bit-identity contract).
+    """
+    plan = case.plan()
+    if client is not None:
+        reply = client.run_stream(case.target,
+                                  [dict(item) for item in case.ops],
+                                  overrides=dict(case.overrides),
+                                  faults=plan.to_dict())
+        return reply["stream"]
+    return exec_core.run_stream(case.target, case.ops,
+                                overrides=case.overrides, faults=plan)
+
+
+def outcome_of(result: Mapping[str, Any]) -> Dict[str, Any]:
+    """Canonical, timestamp-free outcome of an executed case."""
+    persistence = (result.get("faults") or {}).get("persistence")
+    if not persistence:
+        return {"cut": False, "acked_lines": 0, "durable_lines": 0,
+                "lost": []}
+    return {
+        "cut": True,
+        "acked_lines": persistence["acked_lines"],
+        "durable_lines": persistence["durable_lines"],
+        "lost": sorted([entry["addr"], entry["domain"], entry["reason"]]
+                       for entry in persistence["lost"]),
+    }
+
+
+def _expand(ops) -> List[Tuple[str, int]]:
+    """Unit-op view of a program (count/stride sweeps unrolled)."""
+    out: List[Tuple[str, int]] = []
+    for item in ops:
+        op = str(item.get("op", "read"))
+        addr = int(item.get("addr", 0))
+        count = int(item.get("count", 1))
+        stride = int(item.get("stride", 64))
+        for i in range(count):
+            out.append((op, addr + i * stride))
+    return out
+
+
+def _cut_index(expanded: List[Tuple[str, int]],
+               cut_at_request: int) -> Optional[int]:
+    """Index of the unit op whose iMC request trips the cut trigger
+    (``None`` when the program has too few request ops)."""
+    seen = 0
+    for index, (op, _addr) in enumerate(expanded):
+        if op in REQUEST_OPS:
+            seen += 1
+            if seen == cut_at_request:
+                return index
+    return None
+
+
+def _cache_must(expanded: List[Tuple[str, int]], cut_index: int
+                ) -> Tuple[set, set]:
+    """(must_durable, must_lost) line sets per the program-order rules
+    in the module docstring."""
+    last_ack: Dict[int, Tuple[int, str]] = {}
+    flushed_lines = set()
+    for index, (op, addr) in enumerate(expanded):
+        line = addr - addr % _LINE
+        if op in ("store", "write", "write_nt"):
+            last_ack[line] = (index, op)
+        elif op == "flush":
+            flushed_lines.add(line)
+    must_durable, must_lost = set(), set()
+    for line, (store_index, op) in last_ack.items():
+        if op != "store" or store_index >= cut_index:
+            continue
+        if line not in flushed_lines:
+            must_lost.add(line)
+            continue
+        # a flush of the line after the store, then a fence, all
+        # strictly before the cut op?
+        flush_index = None
+        for index in range(store_index + 1, cut_index):
+            op_i, addr_i = expanded[index]
+            line_i = addr_i - addr_i % _LINE
+            if flush_index is None and op_i == "flush" and line_i == line:
+                flush_index = index
+            elif flush_index is not None and op_i == "fence":
+                must_durable.add(line)
+                break
+    return must_durable, must_lost
+
+
+def check(case: LitmusCase, result: Mapping[str, Any]) -> Verdict:
+    """Judge an executed case against its target's contract."""
+    contract = contract_for(case.target, case.overrides)
+    verdict = Verdict(outcome=outcome_of(result), contract=contract)
+    violations = verdict.violations
+    persistence = (result.get("faults") or {}).get("persistence")
+    expanded = _expand(case.ops)
+    cut_index = _cut_index(expanded, case.cut_at_request)
+
+    if contract == "none":
+        # no persistency (or unmapped cut ordinals): structural only
+        if persistence:
+            for problem in validate_report(persistence):
+                violations.append({"kind": "invalid_report",
+                                   "detail": problem})
+        return verdict
+
+    if cut_index is None:
+        if persistence:
+            violations.append({
+                "kind": "unexpected_cut",
+                "detail": f"cut ordinal {case.cut_at_request} exceeds "
+                          f"the program's {case.request_ops} request "
+                          f"ops, yet a cut triggered"})
+        return verdict
+    if not persistence:
+        violations.append({
+            "kind": "missing_cut",
+            "detail": f"cut armed at request {case.cut_at_request} "
+                      f"(op index {cut_index}) never triggered"})
+        return verdict
+
+    problems = validate_report(persistence)
+    if problems:
+        violations.extend({"kind": "invalid_report", "detail": p}
+                          for p in problems)
+        return verdict
+
+    for entry in persistence["lost"]:
+        domain, reason = entry["domain"], entry["reason"]
+        where = f"line 0x{entry['addr']:x}"
+        if domain == "wpq":
+            if contract == "adr":
+                violations.append({
+                    "kind": "wpq_loss",
+                    "detail": f"{where}: WPQ-acknowledged write lost "
+                              f"({reason}) — ADR must drain the WPQ"})
+            elif reason != "lazy_dirty":
+                violations.append({
+                    "kind": "wpq_loss_reason",
+                    "detail": f"{where}: WPQ loss with reason {reason!r} "
+                              f"(only lazy_dirty is legal)"})
+        elif domain == "lazy" and reason != "not_written_back":
+            violations.append({
+                "kind": "lazy_loss_reason",
+                "detail": f"{where}: lazy loss with reason {reason!r}"})
+    if contract == "adr" and persistence["by_domain"].get("lazy"):
+        violations.append({
+            "kind": "lazy_ack_without_lazy_cache",
+            "detail": "lazy-domain acknowledgements on a target whose "
+                      "Lazy cache is disabled"})
+
+    if not persistence.get("saturated"):
+        must_durable, must_lost = _cache_must(expanded, cut_index)
+        lost_cache = {entry["addr"] for entry in persistence["lost"]
+                      if entry["domain"] == "cache"}
+        for line in sorted(must_durable & lost_cache):
+            violations.append({
+                "kind": "must_durable_lost",
+                "detail": f"line 0x{line:x}: store+flush+fence all "
+                          f"completed before the cut, yet reported lost"})
+        for line in sorted(must_lost - lost_cache):
+            violations.append({
+                "kind": "must_lost_durable",
+                "detail": f"line 0x{line:x}: cached store never flushed, "
+                          f"yet not reported lost"})
+    return verdict

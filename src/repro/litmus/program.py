@@ -1,0 +1,220 @@
+"""Litmus programs: small randomized persistency workloads.
+
+A litmus case is a straight-line program over a handful of 256B blocks
+(the Lazy-cache granularity) built from the full persistency
+vocabulary of :func:`repro.experiments.exec.run_stream` — regular
+cached stores, nt-stores, ``clwb``/``clflushopt``-style flushes,
+fences, reads — plus one seeded power-cut ordinal from
+:func:`repro.faults.plan.power_cut_plan`.  Addresses deliberately
+overlap: several ops hit the same cache line at different byte
+offsets, and one *hot* line is hammered so the wear leveler marks its
+block migration-hot and the Lazy cache absorbs it (the Section V-C
+loss scenario) within a few dozen ops.
+
+Cases are ``repro.litmus/1`` documents: fully JSON-serializable,
+seed-stable, and replayable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import FaultPlanError
+from repro.common.rng import make_rng
+from repro.faults.plan import FaultPlan, power_cut_plan
+
+#: litmus-case document version (bump on breaking key changes)
+LITMUS_SCHEMA = "repro.litmus/1"
+
+#: ops a litmus program may contain (the run_stream vocabulary)
+CASE_OPS = ("read", "write", "write_nt", "store", "flush", "fence")
+
+#: ops that reach the iMC and advance its request counter — the
+#: ordinal space ``cut_at_request`` counts in.  ``store`` retires into
+#: the CPU cache and ``fence`` drains without issuing a new request,
+#: so neither can trigger a request-ordinal power cut.
+REQUEST_OPS = ("read", "write", "write_nt", "flush")
+
+#: registry targets a campaign fuzzes by default
+DEFAULT_TARGETS = ("vans", "vans-lazy", "memory-mode")
+
+#: Lazy-cache block granularity (addresses are laid out block-wise)
+_BLOCK = 256
+#: cache-line granularity (the acknowledgement unit)
+_LINE = 64
+#: sub-line byte offsets the generator mixes in so distinct addresses
+#: overlap on one line (0 = aligned, 8 = word inside, 63 = last byte)
+_OFFSETS = (0, 0, 8, 63)
+
+
+@dataclass(frozen=True)
+class LitmusCase:
+    """One litmus test: a program, a target, and a power-cut ordinal."""
+
+    name: str
+    target: str
+    ops: Tuple[Mapping[str, Any], ...]
+    cut_at_request: int
+    seed: int = 0
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    def plan(self) -> FaultPlan:
+        """The case's single power-cut fault plan."""
+        return power_cut_plan(at_request=self.cut_at_request,
+                              seed=self.seed)
+
+    @property
+    def request_ops(self) -> int:
+        """How many ops advance the iMC request counter."""
+        return sum(1 for item in self.ops
+                   if item.get("op") in REQUEST_OPS)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": LITMUS_SCHEMA,
+            "name": self.name,
+            "target": self.target,
+            "overrides": dict(self.overrides),
+            "ops": [dict(item) for item in self.ops],
+            "cut_at_request": self.cut_at_request,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "LitmusCase":
+        problems = validate_case(doc)
+        if problems:
+            raise FaultPlanError(
+                "invalid litmus case: " + "; ".join(problems))
+        return cls(
+            name=str(doc["name"]),
+            target=str(doc["target"]),
+            overrides=dict(doc.get("overrides") or {}),
+            ops=tuple(dict(item) for item in doc["ops"]),
+            cut_at_request=int(doc["cut_at_request"]),
+            seed=int(doc.get("seed", 0)),
+        )
+
+    # -- shrinker hooks ------------------------------------------------
+
+    def with_ops(self, ops: Sequence[Mapping[str, Any]],
+                 cut_at_request: Optional[int] = None) -> "LitmusCase":
+        """A candidate variant with a different program (and cut)."""
+        return replace(self, ops=tuple(dict(item) for item in ops),
+                       cut_at_request=(self.cut_at_request
+                                       if cut_at_request is None
+                                       else cut_at_request))
+
+    def with_cut(self, cut_at_request: int) -> "LitmusCase":
+        return replace(self, cut_at_request=cut_at_request)
+
+
+def validate_case(doc: Mapping[str, Any]) -> List[str]:
+    """Structural check of a litmus-case document; empty when valid."""
+    problems: List[str] = []
+    if not isinstance(doc, Mapping):
+        return ["case document is not a mapping"]
+    if doc.get("schema") != LITMUS_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected "
+                        f"{LITMUS_SCHEMA!r}")
+    for key in ("name", "target", "ops", "cut_at_request"):
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+    ops = doc.get("ops")
+    request_ops = 0
+    if ops is not None and not isinstance(ops, (list, tuple)):
+        problems.append(f"ops is {type(ops).__name__}, expected a list")
+    elif ops is not None:
+        for index, item in enumerate(ops):
+            if not isinstance(item, Mapping):
+                problems.append(f"ops[{index}] is not a mapping")
+                continue
+            op = item.get("op")
+            if op not in CASE_OPS:
+                problems.append(f"ops[{index}].op is {op!r}, expected "
+                                f"one of {CASE_OPS}")
+            elif op in REQUEST_OPS:
+                request_ops += int(item.get("count", 1))
+            if op != "fence":
+                addr = item.get("addr", 0)
+                if isinstance(addr, bool) or not isinstance(addr, int) \
+                        or addr < 0:
+                    problems.append(f"ops[{index}].addr is {addr!r}, "
+                                    f"expected a non-negative int")
+    cut = doc.get("cut_at_request")
+    if cut is not None:
+        if isinstance(cut, bool) or not isinstance(cut, int):
+            problems.append(f"cut_at_request is {cut!r}, expected an int")
+        elif cut < 1:
+            problems.append(f"cut_at_request is {cut}, expected >= 1 "
+                            "(the trigger arms on the Nth request)")
+    overrides = doc.get("overrides")
+    if overrides is not None and not isinstance(overrides, Mapping):
+        problems.append("overrides is not a mapping")
+    return problems
+
+
+def random_case(seed: int, target: str = "vans",
+                min_ops: int = 6, max_ops: int = 24) -> LitmusCase:
+    """Generate one seeded litmus case for ``target``.
+
+    Same ``(seed, target)`` always yields the identical case.  The
+    program hammers one hot line (~half of all write-traffic) inside a
+    small block set so the wear leveler trips the Lazy cache's
+    absorb threshold quickly — on ``vans``-family targets the
+    ``migrate_threshold`` override is drawn small (4/8/16) for the
+    same reason, keeping the Section V-C loss scenario reachable
+    within a couple dozen ops.
+    """
+    rng = make_rng(seed, f"litmus-case:{target}")
+    nblocks = rng.randint(1, 3)
+    lines = [block * _BLOCK + line * _LINE
+             for block in range(nblocks)
+             for line in range(_BLOCK // _LINE)]
+    hot_line = rng.choice(lines)
+
+    def _addr() -> int:
+        base = hot_line if rng.random() < 0.5 else rng.choice(lines)
+        return base + rng.choice(_OFFSETS)
+
+    nops = rng.randint(min_ops, max_ops)
+    ops: List[Dict[str, Any]] = []
+    touched: List[int] = []
+    for _ in range(nops):
+        roll = rng.random()
+        if roll < 0.28:
+            op, addr = "write", _addr()
+        elif roll < 0.46:
+            op, addr = "store", _addr()
+        elif roll < 0.61:
+            # flushes mostly chase lines the program already touched —
+            # a flush of an untouched line is a no-op persistency-wise
+            op = "flush"
+            addr = (rng.choice(touched) if touched and rng.random() < 0.7
+                    else _addr())
+        elif roll < 0.71:
+            op, addr = "write_nt", _addr()
+        elif roll < 0.81:
+            op, addr = "read", _addr()
+        else:
+            ops.append({"op": "fence"})
+            continue
+        touched.append(addr)
+        ops.append({"op": op, "addr": addr})
+    if not any(item["op"] in REQUEST_OPS for item in ops):
+        # the cut trigger counts iMC requests; guarantee at least one
+        ops.append({"op": "write", "addr": hot_line})
+    nrequests = sum(1 for item in ops if item["op"] in REQUEST_OPS)
+    cut_at_request = rng.randint(1, nrequests)
+    overrides: Dict[str, Any] = {}
+    if target.startswith("vans"):
+        overrides["migrate_threshold"] = rng.choice((4, 8, 16))
+    return LitmusCase(
+        name=f"litmus-{target}-{seed}",
+        target=target,
+        overrides=overrides,
+        ops=tuple(ops),
+        cut_at_request=cut_at_request,
+        seed=seed,
+    )

@@ -1,0 +1,238 @@
+"""Automatic shrinking of failing litmus cases.
+
+Delta-debugs a case that exhibits something interesting — an oracle
+violation, or an acknowledged-write loss (the vans-lazy Section V-C
+family) — down to a minimal reproducer:
+
+1. **Signature.**  The original run's verdict is reduced to a target
+   signature: the smallest violation kind when the oracle fired, else
+   the smallest ``(domain, reason)`` loss family.  Every candidate is
+   *re-executed and re-judged*; it is accepted only when its signature
+   matches, so the shrinker can never wander onto a different bug.
+2. **Op minimization** (ddmin): remove chunks of ops, halving chunk
+   size down to single ops.  Removing ops shifts the cut: the
+   candidate's cut ordinal is remapped so the cut still fires at the
+   first surviving request op at or after the original trigger point
+   (candidates whose trigger would fall off the end are rejected
+   without running).
+3. **Cut minimization**: scan cut ordinals ascending and keep the
+   smallest one preserving the signature.
+4. **Address canonicalization**: remap 256B blocks to 0x0, 0x100, …
+   in first-use order (intra-block offsets preserved), accepted only
+   if the signature survives.
+5. Loop 2–4 to a fixpoint (bounded by ``max_evals``).
+
+Everything is deterministic — no randomness, candidate order fixed by
+construction — so shrinking the same case twice yields byte-identical
+minimal reproducers (the CI determinism gate relies on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.litmus.oracle import Verdict, check, run_case
+from repro.litmus.program import REQUEST_OPS, LitmusCase
+
+_BLOCK = 256
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    #: the minimal reproducer (== ``original`` when nothing shrank)
+    case: LitmusCase
+    #: the signature every accepted step preserved
+    signature: Tuple[str, Any]
+    #: verdict of the minimal case's final (verifying) execution
+    verdict: Verdict
+    #: candidate executions spent
+    evals: int
+    #: accepted shrink steps
+    steps: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "case": self.case.to_dict(),
+            "signature": list(self.signature),
+            "verdict": self.verdict.as_dict(),
+            "evals": self.evals,
+            "steps": self.steps,
+            "ops": len(self.case.ops),
+        }
+
+
+def signature_of(verdict: Verdict) -> Optional[Tuple[str, Any]]:
+    """The default shrink target of a verdict, or ``None``."""
+    if verdict.violations:
+        return ("violation",
+                min(v["kind"] for v in verdict.violations))
+    if verdict.losses:
+        return ("loss",
+                min((entry[1], entry[2]) for entry in verdict.losses))
+    return None
+
+
+def matches(verdict: Verdict, signature: Tuple[str, Any]) -> bool:
+    """Does a verdict still exhibit ``signature``?
+
+    Membership, not equality: a candidate keeping the chased violation
+    kind (or loss family) matches even while unrelated findings are
+    still present — minimization then drives those out naturally.
+    """
+    kind, detail = signature
+    if kind == "violation":
+        return any(v["kind"] == detail for v in verdict.violations)
+    if kind == "loss":
+        return any((entry[1], entry[2]) == tuple(detail)
+                   for entry in verdict.losses)
+    return False
+
+
+def _remap_cut(ops: Sequence, kept: Sequence[int],
+               cut_index: int) -> Optional[int]:
+    """Cut ordinal for a candidate keeping op indices ``kept``: the cut
+    fires at the first surviving request op at/after the original
+    trigger index (``None`` = trigger falls off the end)."""
+    ordinal = 0
+    for index in kept:
+        if ops[index].get("op") in REQUEST_OPS:
+            ordinal += 1
+            if index >= cut_index:
+                return ordinal
+    return None
+
+
+def _orig_cut_index(case: LitmusCase) -> Optional[int]:
+    seen = 0
+    for index, item in enumerate(case.ops):
+        if item.get("op") in REQUEST_OPS:
+            seen += 1
+            if seen == case.cut_at_request:
+                return index
+    return None
+
+
+def shrink_case(case: LitmusCase, max_evals: int = 2000,
+                signature: Optional[Tuple[str, Any]] = None
+                ) -> ShrinkResult:
+    """Shrink ``case`` to a minimal program with the same signature.
+
+    ``signature`` pins what to chase — e.g. ``("loss", ("wpq",
+    "lazy_dirty"))`` to shrink toward the Section V-C betrayal even
+    when unrelated cache-domain losses ride along; by default the
+    verdict's smallest violation kind (else loss family) is chased.
+    """
+    result = run_case(case)
+    verdict = check(case, result)
+    if signature is None:
+        signature = signature_of(verdict)
+    evals = 1
+    steps = 0
+    if signature is None:
+        # clean pass: nothing to reproduce, nothing to shrink
+        return ShrinkResult(case, ("clean", None), verdict, evals, steps)
+    if not matches(verdict, signature):
+        raise ValueError(
+            f"case {case.name!r} does not exhibit signature "
+            f"{signature!r}; its verdict has violations="
+            f"{[v['kind'] for v in verdict.violations]} losses="
+            f"{verdict.losses}")
+
+    current = case
+    current_verdict = verdict
+
+    def _try(candidate: LitmusCase) -> Optional[Verdict]:
+        nonlocal evals
+        if evals >= max_evals:
+            return None
+        evals += 1
+        try:
+            candidate_verdict = check(candidate, run_case(candidate))
+        except Exception:
+            # a candidate the simulator rejects outright is simply not
+            # a reproducer; keep shrinking around it
+            return None
+        if not matches(candidate_verdict, signature):
+            return None
+        return candidate_verdict
+
+    def _try_keep(kept: List[int]) -> bool:
+        nonlocal current, current_verdict, steps
+        if len(kept) == len(current.ops):
+            return False
+        cut_index = _orig_cut_index(current)
+        if cut_index is None:
+            return False
+        new_cut = _remap_cut(current.ops, kept, cut_index)
+        if new_cut is None:
+            return False
+        candidate = current.with_ops(
+            [current.ops[index] for index in kept], cut_at_request=new_cut)
+        candidate_verdict = _try(candidate)
+        if candidate_verdict is None:
+            return False
+        current, current_verdict = candidate, candidate_verdict
+        steps += 1
+        return True
+
+    changed = True
+    while changed and evals < max_evals:
+        changed = False
+
+        # -- ddmin over ops: drop chunks, halving granularity ---------
+        chunk = max(1, len(current.ops) // 2)
+        while chunk >= 1 and evals < max_evals:
+            start = 0
+            removed_any = False
+            while start < len(current.ops) and evals < max_evals:
+                kept = [i for i in range(len(current.ops))
+                        if not (start <= i < start + chunk)]
+                if _try_keep(kept):
+                    removed_any = changed = True
+                    # ops shifted left; same start now names new ops
+                else:
+                    start += chunk
+            if not removed_any:
+                chunk //= 2
+
+        # -- cut minimization: smallest ordinal with the signature ----
+        for ordinal in range(1, current.cut_at_request):
+            candidate_verdict = _try(current.with_cut(ordinal))
+            if candidate_verdict is not None:
+                current = current.with_cut(ordinal)
+                current_verdict = candidate_verdict
+                steps += 1
+                changed = True
+                break
+
+        # -- address canonicalization: blocks -> 0x0, 0x100, ... ------
+        mapping: Dict[int, int] = {}
+        for item in current.ops:
+            if item.get("op") == "fence":
+                continue
+            block = int(item.get("addr", 0)) // _BLOCK
+            if block not in mapping:
+                mapping[block] = len(mapping) * _BLOCK
+        remapped = tuple(
+            dict(item) if item.get("op") == "fence"
+            else {**item, "addr": mapping[int(item.get("addr", 0))
+                                          // _BLOCK]
+                  + int(item.get("addr", 0)) % _BLOCK}
+            for item in current.ops)
+        if remapped != current.ops:
+            candidate = current.with_ops(remapped)
+            candidate_verdict = _try(candidate)
+            if candidate_verdict is not None:
+                current, current_verdict = candidate, candidate_verdict
+                steps += 1
+                changed = True
+
+    if current is not case:
+        current = LitmusCase(
+            name=f"{case.name}-min", target=current.target,
+            overrides=current.overrides, ops=current.ops,
+            cut_at_request=current.cut_at_request, seed=current.seed)
+    return ShrinkResult(current, signature, current_verdict, evals, steps)

@@ -169,15 +169,22 @@ class ServeClient:
     def submit_stream(self, target: str,
                       ops: Iterable[Dict[str, Any]],
                       overrides: Optional[Dict[str, Any]] = None,
+                      faults: Optional[Dict[str, Any]] = None,
                       progress: Any = None,
                       on_progress: Optional[
                           Callable[[Dict[str, Any]], None]] = None
                       ) -> int:
+        """Fire-and-forget stream submit; ``faults`` is a
+        ``repro.faultplan/1`` plan document executed against the
+        stream (the result then carries the fault report, persistence
+        audit included — the litmus thin-client path)."""
         request_id = next(self._ids)
         message: Dict[str, Any] = {"type": "stream", "id": request_id,
                                    "target": target,
                                    "overrides": overrides or {},
                                    "ops": list(ops)}
+        if faults is not None:
+            message["faults"] = faults
         if progress is None and on_progress is not None:
             progress = True
         if progress:
@@ -190,6 +197,7 @@ class ServeClient:
 
     def run_stream(self, target: str, ops: Iterable[Dict[str, Any]],
                    overrides: Optional[Dict[str, Any]] = None,
+                   faults: Optional[Dict[str, Any]] = None,
                    raise_on_error: bool = True,
                    progress: Any = None,
                    on_progress: Optional[
@@ -197,6 +205,7 @@ class ServeClient:
                    ) -> Dict[str, Any]:
         """Submit a raw request stream and block for its result."""
         request_id = self.submit_stream(target, ops, overrides,
+                                        faults=faults,
                                         progress=progress,
                                         on_progress=on_progress)
         return self.wait(request_id, raise_on_error=raise_on_error)

@@ -90,7 +90,8 @@ def _execute_job(job: Dict[str, Any],
     if kind == "stream":
         stream = exec_core.run_stream(
             job["target"], job.get("ops", ()),
-            overrides=job.get("overrides"), session=job.get("session"),
+            overrides=job.get("overrides"), faults=job.get("faults"),
+            session=job.get("session"),
             progress=_make_reporter(job, emit_progress))
         return {"stream": stream}
     if kind == "ping":

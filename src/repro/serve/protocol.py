@@ -23,8 +23,11 @@ Client -> server message types:
 ``stream``
     ``{"type": "stream", "id": 2, "target": "vans", "overrides": {...},
     "ops": [{"op": "read", "addr": 0, "count": 64, "stride": 64},
-    ...]}`` — drive a registry target with a raw request stream (see
-    :func:`repro.experiments.exec.run_stream`).
+    ...], "faults": {...}?}`` — drive a registry target with a raw
+    request stream (see :func:`repro.experiments.exec.run_stream`).
+    The optional ``faults`` field is a ``repro.faultplan/1`` plan
+    document; the stream result then carries the fault report with
+    its persistence audit (the litmus thin-client path).
 ``ping`` / ``stats`` / ``experiments`` / ``targets``
     Introspection; answered inline by the daemon.
 ``bye``

@@ -276,6 +276,7 @@ class ServeDaemon:
                 "target": message.get("target"),
                 "overrides": message.get("overrides") or {},
                 "ops": message.get("ops") or [],
+                "faults": message.get("faults"),
                 "session": identity,
             }
         self._job_seq += 1

@@ -1,0 +1,348 @@
+"""``repro-litmus``: crash-consistency litmus campaigns.
+
+Usage::
+
+    repro-litmus gen --seed 7 --target vans-lazy          # emit a case
+    repro-litmus run case.json                            # run + judge
+    repro-litmus run --seed 7 --target vans-lazy          # generate+run
+    repro-litmus shrink case.json --loss wpq/lazy_dirty   # minimize
+    repro-litmus corpus corpus/litmus.json --replay       # CI drift gate
+    repro-litmus corpus corpus/litmus.json --add case.json
+    repro-litmus campaign --seed 7 --cases 1000 --workers 4 \\
+        --require-loss-on vans-lazy                       # fuzz campaign
+
+``gen`` prints seeded ``repro.litmus/1`` case documents.  ``run``
+executes one case through the real stream executor under its power-cut
+plan and judges the persistence audit against the target's ADR
+contract.  ``shrink`` delta-debugs a case to a minimal reproducer
+(deterministic: same input, same output, every step re-verified).
+``corpus`` validates, replays (exit 3 on any outcome drift or oracle
+violation — the CI gate), or extends the known-outcome corpus.
+``campaign`` runs thousands of seeded cases through the crash-tolerant
+watchdogged scheduler (or through a live ``repro-serve`` daemon with
+``--port`` — the thin-client fuzzing path).
+
+Exit codes: ``0`` ok, ``1`` campaign produced nothing (or a required
+loss family was not reproduced), ``2`` usage error, ``3`` oracle
+violation / corpus drift / shrink gate exceeded, ``4`` partial
+campaign (some batches quarantined).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.common.errors import FaultPlanError, ReproError
+from repro.litmus.campaign import EXIT_VIOLATION, run_campaign
+from repro.litmus.corpus import (case_entry, load_corpus, replay_corpus,
+                                 save_corpus)
+from repro.litmus.oracle import check, run_case
+from repro.litmus.program import DEFAULT_TARGETS, LitmusCase, random_case
+from repro.litmus.shrink import shrink_case
+
+EXIT_OK = 0
+EXIT_NOTHING = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 4
+
+
+def _load_case(path: str) -> LitmusCase:
+    doc = json.loads(Path(path).read_text())
+    return LitmusCase.from_dict(doc)
+
+
+def _case_from_args(args) -> LitmusCase:
+    if args.case:
+        return _load_case(args.case)
+    if args.seed is None:
+        raise FaultPlanError("give a case file or --seed")
+    return random_case(args.seed, target=args.target)
+
+
+def _make_client(args):
+    if getattr(args, "port", None) is None:
+        return None
+    from repro.serve.client import ServeClient
+    return ServeClient(args.host, args.port, tenant=args.tenant)
+
+
+def _write_json(path: Optional[str], doc: Dict[str, Any]) -> None:
+    if not path:
+        return
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+def _print_verdict(name: str, verdict) -> None:
+    status = "ok" if verdict.ok else "VIOLATION"
+    print(f"{name}: {status} (contract={verdict.contract})")
+    outcome = verdict.outcome
+    if outcome.get("cut"):
+        print(f"  cut fired: {outcome['acked_lines']} acked, "
+              f"{outcome['durable_lines']} durable, "
+              f"{len(outcome['lost'])} lost")
+        for addr, domain, reason in outcome["lost"]:
+            print(f"    lost 0x{addr:x} via {domain} ({reason})")
+    else:
+        print("  cut did not fire")
+    for violation in verdict.violations:
+        print(f"  violation [{violation['kind']}]: {violation['detail']}")
+
+
+def _cmd_gen(args) -> int:
+    docs = []
+    for index in range(args.count):
+        case = random_case(args.seed + index, target=args.target)
+        docs.append(case.to_dict())
+    payload = docs[0] if args.count == 1 else docs
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.json_path:
+        Path(args.json_path).write_text(text + "\n")
+        print(f"wrote {args.json_path} ({args.count} case(s))")
+    else:
+        print(text)
+    return EXIT_OK
+
+
+def _cmd_run(args) -> int:
+    case = _case_from_args(args)
+    client = _make_client(args)
+    try:
+        result = run_case(case, client=client)
+    finally:
+        if client is not None:
+            client.close()
+    verdict = check(case, result)
+    _print_verdict(case.name, verdict)
+    _write_json(args.json_path,
+                {"case": case.to_dict(), "verdict": verdict.as_dict()})
+    return EXIT_OK if verdict.ok else EXIT_VIOLATION
+
+
+def _cmd_shrink(args) -> int:
+    case = _case_from_args(args)
+    signature = None
+    if args.loss:
+        domain, _, reason = args.loss.partition("/")
+        if not reason:
+            raise FaultPlanError(
+                f"--loss wants DOMAIN/REASON (e.g. wpq/lazy_dirty), "
+                f"got {args.loss!r}")
+        signature = ("loss", (domain, reason))
+    elif args.violation:
+        signature = ("violation", args.violation)
+    shrunk = shrink_case(case, max_evals=args.max_evals,
+                         signature=signature)
+    print(f"{case.name}: {len(case.ops)} ops -> {len(shrunk.case.ops)} "
+          f"ops (cut@{shrunk.case.cut_at_request}, {shrunk.evals} "
+          f"evals, {shrunk.steps} accepted steps)")
+    print(f"  signature: {shrunk.signature[0]}:{shrunk.signature[1]}")
+    for item in shrunk.case.ops:
+        addr = item.get("addr")
+        print(f"    {item['op']}" + ("" if addr is None
+                                     else f" 0x{addr:x}"))
+    _write_json(args.json_path, shrunk.as_dict())
+    if args.max_ops is not None and len(shrunk.case.ops) > args.max_ops:
+        print(f"FAIL: minimal reproducer has {len(shrunk.case.ops)} ops "
+              f"(> --max-ops {args.max_ops})", file=sys.stderr)
+        return EXIT_VIOLATION
+    return EXIT_OK
+
+
+def _cmd_corpus(args) -> int:
+    path = Path(args.corpus)
+    if args.add:
+        cases: List[Dict[str, Any]] = []
+        if path.exists():
+            cases = list(load_corpus(path)["cases"])
+        known = {entry["name"] for entry in cases}
+        for case_path in args.add:
+            case = _load_case(case_path)
+            entry = case_entry(case)
+            if case.name in known:
+                cases = [entry if e["name"] == case.name else e
+                         for e in cases]
+                print(f"updated {case.name}")
+            else:
+                cases.append(entry)
+                print(f"added {case.name} "
+                      f"({len(entry['expected']['lost'])} expected "
+                      f"loss(es))")
+        save_corpus(path, cases)
+        print(f"wrote {path} ({len(cases)} case(s))")
+        return EXIT_OK
+    try:
+        doc = load_corpus(path)
+    except (OSError, ValueError, FaultPlanError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if not args.replay:
+        print(f"{path}: valid {doc['schema']} corpus "
+              f"({len(doc['cases'])} case(s))")
+        return EXIT_OK
+    client = _make_client(args)
+    try:
+        outcome = replay_corpus(doc, client=client)
+    finally:
+        if client is not None:
+            client.close()
+    print(f"{path}: replayed {outcome['checked']} case(s), "
+          f"{len(outcome['drift'])} drifted, "
+          f"{len(outcome['violations'])} violation(s)")
+    for entry in outcome["drift"]:
+        print(f"  DRIFT {entry['name']}:")
+        print(f"    expected {json.dumps(entry['expected'], sort_keys=True)}")
+        print(f"    observed {json.dumps(entry['observed'], sort_keys=True)}")
+    for entry in outcome["violations"]:
+        print(f"  VIOLATION {entry['name']} [{entry['kind']}]: "
+              f"{entry['detail']}")
+    if outcome["drift"] or outcome["violations"]:
+        return EXIT_VIOLATION
+    return EXIT_OK
+
+
+def _cmd_campaign(args) -> int:
+    targets = tuple(t.strip() for t in args.targets.split(",")
+                    if t.strip()) or DEFAULT_TARGETS
+    progress = None
+    if args.progress:
+        from repro.progress import ProgressReporter
+
+        def _emit(frame: Dict[str, Any]) -> None:
+            print(json.dumps(frame), file=sys.stderr)
+
+        progress = ProgressReporter(emit=_emit)
+    client = _make_client(args)
+    try:
+        report = run_campaign(args.seed, args.cases, targets=targets,
+                              workers=args.workers,
+                              timeout_s=args.timeout_s,
+                              retries=args.retries, client=client,
+                              progress=progress)
+    finally:
+        if client is not None:
+            client.close()
+    print(f"campaign seed={args.seed}: {report['completed']}/"
+          f"{report['cases']} completed, {report['failed']} failed, "
+          f"{report['violation_count']} violation(s)")
+    for family, count in sorted(report["loss_families"].items()):
+        print(f"  loss family {family}: {count}")
+    for violation in report["violations"]:
+        print(f"  VIOLATION {violation['name']} [{violation['kind']}]: "
+              f"{violation['detail']}")
+    _write_json(args.json_path, report)
+    code = report["exit_code"]
+    if code == EXIT_OK and args.require_loss_on:
+        prefix = f"{args.require_loss_on}/"
+        if not any(family.startswith(prefix)
+                   for family in report["loss_families"]):
+            print(f"FAIL: no loss reproduced on {args.require_loss_on} "
+                  f"(families: {sorted(report['loss_families'])})",
+                  file=sys.stderr)
+            return EXIT_NOTHING
+    return code
+
+
+def _add_serve_args(sub) -> None:
+    sub.add_argument("--port", type=int, default=None,
+                     help="submit through a running repro-serve daemon "
+                          "on this port (thin-client mode)")
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="daemon host (default: %(default)s)")
+    sub.add_argument("--tenant", default="litmus",
+                     help="serve tenant id (default: %(default)s)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-litmus",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    gen = subs.add_parser("gen", help="generate seeded litmus cases")
+    gen.add_argument("--seed", type=int, required=True)
+    gen.add_argument("--target", default="vans-lazy",
+                     help="registry target (default: %(default)s)")
+    gen.add_argument("--count", type=int, default=1,
+                     help="cases to emit, seeds seed..seed+count-1 "
+                          "(default: %(default)s)")
+    gen.add_argument("--json", dest="json_path", metavar="PATH",
+                     help="write case doc(s) here instead of stdout")
+
+    run = subs.add_parser("run", help="run one case and judge it")
+    run.add_argument("case", nargs="?", help="litmus case JSON file")
+    run.add_argument("--seed", type=int, default=None,
+                     help="generate the case instead of reading a file")
+    run.add_argument("--target", default="vans-lazy")
+    run.add_argument("--json", dest="json_path", metavar="PATH")
+    _add_serve_args(run)
+
+    shrink = subs.add_parser("shrink",
+                             help="delta-debug a case to a minimal "
+                                  "reproducer")
+    shrink.add_argument("case", nargs="?", help="litmus case JSON file")
+    shrink.add_argument("--seed", type=int, default=None)
+    shrink.add_argument("--target", default="vans-lazy")
+    shrink.add_argument("--loss", metavar="DOMAIN/REASON",
+                        help="shrink toward this loss family "
+                             "(e.g. wpq/lazy_dirty)")
+    shrink.add_argument("--violation", metavar="KIND",
+                        help="shrink toward this oracle violation kind")
+    shrink.add_argument("--max-evals", type=int, default=2000)
+    shrink.add_argument("--max-ops", type=int, default=None,
+                        help="exit 3 if the minimal reproducer still "
+                             "has more ops than this (CI gate)")
+    shrink.add_argument("--json", dest="json_path", metavar="PATH")
+
+    corpus = subs.add_parser("corpus",
+                             help="validate / replay / extend the "
+                                  "known-outcome corpus")
+    corpus.add_argument("corpus", help="corpus JSON file")
+    corpus.add_argument("--replay", action="store_true",
+                        help="re-execute every case; exit 3 on drift")
+    corpus.add_argument("--add", nargs="+", metavar="CASE",
+                        help="run case file(s) and record their "
+                             "outcomes into the corpus")
+    _add_serve_args(corpus)
+
+    campaign = subs.add_parser("campaign",
+                               help="run a seeded fuzzing campaign")
+    campaign.add_argument("--seed", type=int, required=True)
+    campaign.add_argument("--cases", type=int, default=1000)
+    campaign.add_argument("--targets", default=",".join(DEFAULT_TARGETS),
+                          help="comma-separated registry targets "
+                               "(default: %(default)s)")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="watchdogged worker processes "
+                               "(default: serial)")
+    campaign.add_argument("--timeout-s", type=float, default=120.0,
+                          help="per-batch watchdog deadline "
+                               "(default: %(default)s)")
+    campaign.add_argument("--retries", type=int, default=1,
+                          help="extra attempts per batch before "
+                               "quarantine (default: %(default)s)")
+    campaign.add_argument("--require-loss-on", metavar="TARGET",
+                          help="exit 1 unless a loss was reproduced on "
+                               "this target (the vans-lazy gate)")
+    campaign.add_argument("--progress", action="store_true",
+                          help="stream progress frames to stderr")
+    campaign.add_argument("--json", dest="json_path", metavar="PATH")
+    _add_serve_args(campaign)
+
+    args = parser.parse_args(argv)
+    handlers = {"gen": _cmd_gen, "run": _cmd_run, "shrink": _cmd_shrink,
+                "corpus": _cmd_corpus, "campaign": _cmd_campaign}
+    try:
+        return handlers[args.command](args)
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -286,3 +286,43 @@ class TestRunnerFaultsIntegration:
             assert result.faults["summary"]["seed"] == 9
             assert result.faults["summary"]["counters"]["power_cuts"] == 1
             assert "persistence" in result.faults
+
+
+class TestRandomPlanEdges:
+    def test_zero_horizon_plan_is_well_formed(self):
+        plan = random_plan(0, horizon_ps=0)
+        assert validate_plan(plan.to_dict()) == []
+        cuts = [s for s in plan.specs if s.kind == "power_cut"]
+        assert len(cuts) == 1
+        # episode windows degrade gracefully to 1-ps durations
+        for spec in plan.specs:
+            if spec.kind != "power_cut" and spec.duration_ps is not None:
+                assert spec.duration_ps >= 0
+
+    def test_zero_horizon_deterministic(self):
+        assert random_plan(3, horizon_ps=0).to_dict() == \
+               random_plan(3, horizon_ps=0).to_dict()
+
+    def test_duplicate_cut_times_keep_earliest(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="power_cut", at_ps=9_000),
+            FaultSpec(kind="power_cut", at_ps=3_000),
+            FaultSpec(kind="power_cut", at_ps=3_000),
+        ))
+        injector = FaultInjector(plan)
+        assert injector.cut_ps == 3_000
+
+    def test_equal_cut_times_are_one_cut(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="power_cut", at_ps=7_000),
+            FaultSpec(kind="power_cut", at_ps=7_000),
+        ))
+        injector = FaultInjector(plan)
+        assert injector.cut_ps == 7_000
+        for now in (6_000, 7_000, 8_000):
+            injector.on_request(now)
+        assert injector.counters["power_cuts"] == 1
+
+    def test_cut_at_ordinal_zero_rejected(self):
+        with pytest.raises(FaultPlanError, match="at_request"):
+            FaultSpec(kind="power_cut", at_request=0)

@@ -1,0 +1,116 @@
+"""Automatic shrinking: determinism, signature pinning, cut remap."""
+
+import pytest
+
+from repro.litmus import LitmusCase, check, random_case, run_case, shrink_case
+from repro.litmus.shrink import _remap_cut, matches, signature_of
+
+#: the pinned Section V-C chase: a WPQ-acknowledged write lost because
+#: the Lazy cache held the block dirty at the cut
+BETRAYAL = ("loss", ("wpq", "lazy_dirty"))
+
+
+def _betrayal_case():
+    # seed 28 on vans-lazy is a known reproducer (also pinned in the
+    # committed corpus as vans-lazy-betrayal-min)
+    return random_case(28, target="vans-lazy")
+
+
+class TestShrink:
+    def test_betrayal_shrinks_to_six_ops(self):
+        result = shrink_case(_betrayal_case(), signature=BETRAYAL)
+        assert len(result.case.ops) <= 6
+        assert result.signature == BETRAYAL
+        assert result.steps >= 1
+        assert result.case.name.endswith("-min")
+
+    def test_shrink_is_deterministic(self):
+        a = shrink_case(_betrayal_case(), signature=BETRAYAL)
+        b = shrink_case(_betrayal_case(), signature=BETRAYAL)
+        assert a.as_dict() == b.as_dict()
+
+    def test_minimal_case_still_reproduces(self):
+        result = shrink_case(_betrayal_case(), signature=BETRAYAL)
+        verdict = check(result.case, run_case(result.case))
+        assert matches(verdict, BETRAYAL)
+        # the shrinker's final verdict is the re-verified one
+        assert result.verdict.as_dict() == verdict.as_dict()
+
+    def test_addresses_canonicalized(self):
+        result = shrink_case(_betrayal_case(), signature=BETRAYAL)
+        blocks = []
+        for item in result.case.ops:
+            if item.get("op") == "fence":
+                continue
+            block = int(item["addr"]) // 256
+            if block not in blocks:
+                blocks.append(block)
+        assert blocks == list(range(len(blocks)))
+
+    def test_default_signature_is_smallest_family(self):
+        # unpinned: the shrinker chases the verdict's smallest loss
+        # family and still produces a reproducer of *that* family
+        case = _betrayal_case()
+        verdict = check(case, run_case(case))
+        expected = signature_of(verdict)
+        result = shrink_case(case)
+        assert result.signature == expected
+        assert matches(result.verdict, expected)
+
+    def test_pinning_unexhibited_signature_raises(self):
+        # a fenced nt-store program has no losses at all
+        case = LitmusCase(
+            name="clean", target="vans",
+            ops=({"op": "write", "addr": 0}, {"op": "fence"},
+                 {"op": "write", "addr": 64}),
+            cut_at_request=2, seed=0, overrides={})
+        with pytest.raises(ValueError, match="does not exhibit"):
+            shrink_case(case, signature=BETRAYAL)
+
+    def test_clean_case_returns_clean(self):
+        case = LitmusCase(
+            name="clean", target="vans",
+            ops=({"op": "write", "addr": 0}, {"op": "write", "addr": 64}),
+            cut_at_request=2, seed=0, overrides={})
+        result = shrink_case(case)
+        assert result.signature == ("clean", None)
+        assert result.case is case
+        assert result.evals == 1
+
+    def test_max_evals_bounds_work(self):
+        result = shrink_case(_betrayal_case(), signature=BETRAYAL,
+                             max_evals=5)
+        assert result.evals <= 5
+        # even a truncated shrink must hand back a real reproducer
+        assert matches(check(result.case, run_case(result.case)),
+                       BETRAYAL)
+
+
+class TestCutRemap:
+    OPS = ({"op": "write", "addr": 0},      # request 1
+           {"op": "fence"},
+           {"op": "store", "addr": 64},
+           {"op": "flush", "addr": 64},     # request 2
+           {"op": "read", "addr": 128})     # request 3
+
+    def test_identity_keep_preserves_ordinal(self):
+        kept = list(range(len(self.OPS)))
+        # cut originally at op index 3 (request 2)
+        assert _remap_cut(self.OPS, kept, 3) == 2
+
+    def test_removing_earlier_request_shifts_ordinal(self):
+        kept = [1, 2, 3, 4]  # dropped the first write
+        assert _remap_cut(self.OPS, kept, 3) == 1
+
+    def test_removing_non_request_ops_keeps_ordinal(self):
+        kept = [0, 3, 4]  # dropped fence + store
+        assert _remap_cut(self.OPS, kept, 3) == 2
+
+    def test_removing_the_trigger_moves_to_next_request(self):
+        kept = [0, 1, 2, 4]  # dropped the flush that triggered the cut
+        # fires at the next surviving request op (the read)
+        assert _remap_cut(self.OPS, kept, 3) == 2
+
+    def test_trigger_off_the_end_is_rejected(self):
+        kept = [0, 1, 2]  # nothing at/after the trigger survives
+        assert _remap_cut(self.OPS, kept, 3) is None

@@ -175,3 +175,83 @@ class TestEndToEnd:
         assert report.lost_count >= 1
         assert all(e["reason"] == "lazy_dirty" for e in report.lost)
         assert report.durable_lines < report.acked_lines
+
+
+# -- report document round-trip (property-based) ----------------------------
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import FaultPlanError
+from repro.faults import LOSS_REASONS, PersistenceReport, validate_report
+
+_lines = st.integers(0, 2**40 // 64).map(lambda n: n * 64)
+_times = st.integers(0, 10**12)
+
+
+@st.composite
+def _reports(draw):
+    """Reports built to satisfy the counting invariants by construction."""
+    lost = draw(st.lists(st.builds(
+        lambda addr, t, domain_reason: {
+            "addr": addr, "ack_ps": t,
+            "domain": domain_reason[0], "reason": domain_reason[1]},
+        _lines, _times,
+        st.sampled_from([(d, r) for d, rs in LOSS_REASONS.items()
+                         for r in rs])), max_size=8))
+    durable_by_domain = {
+        domain: draw(st.integers(0, 5)) for domain in LOSS_REASONS}
+    by_domain = dict(durable_by_domain)
+    for entry in lost:
+        by_domain[entry["domain"]] += 1
+    return PersistenceReport(
+        cut_ps=draw(_times),
+        acked_lines=sum(by_domain.values()),
+        durable_lines=sum(durable_by_domain.values()),
+        lost=lost,
+        by_domain=by_domain,
+        saturated=draw(st.booleans()),
+    )
+
+
+class TestReportRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(_reports())
+    def test_to_dict_from_dict_round_trips(self, report):
+        doc = report.to_dict()
+        assert validate_report(doc) == []
+        rebuilt = PersistenceReport.from_dict(doc)
+        assert rebuilt == report
+        assert rebuilt.to_dict() == doc
+
+    @settings(max_examples=60, deadline=None)
+    @given(_reports())
+    def test_json_round_trip_is_stable(self, report):
+        import json
+        wire = json.dumps(report.to_dict(), sort_keys=True)
+        rebuilt = PersistenceReport.from_dict(json.loads(wire))
+        assert json.dumps(rebuilt.to_dict(), sort_keys=True) == wire
+
+    def test_from_dict_rejects_broken_invariant(self):
+        checker = PersistenceChecker()
+        checker.ack(0x100, 1_000, "wpq")
+        doc = checker.report(CUT).to_dict()
+        doc["durable_lines"] += 1
+        with pytest.raises(FaultPlanError, match="acked_lines"):
+            PersistenceReport.from_dict(doc)
+
+    def test_from_dict_rejects_bad_reason_pairing(self):
+        checker = PersistenceChecker()
+        checker.ack(0x100, 1_000, "cache")
+        report = checker.report(CUT)
+        doc = report.to_dict()
+        assert doc["lost"][0]["reason"] == "unflushed"
+        doc["lost"][0]["reason"] = "lazy_dirty"   # wpq-only reason
+        with pytest.raises(FaultPlanError, match="reason"):
+            PersistenceReport.from_dict(doc)
+
+    def test_validate_report_rejects_bool_counters(self):
+        checker = PersistenceChecker()
+        doc = checker.report(CUT).to_dict()
+        doc["acked_lines"] = True
+        assert any("expected an int" in p for p in validate_report(doc))
