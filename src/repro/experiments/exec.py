@@ -311,17 +311,28 @@ def run_stream(target: str, ops: Sequence[Mapping[str, object]],
                faults: Optional[Mapping[str, object]] = None,
                session: Optional[Mapping[str, object]] = None,
                progress: Optional[ProgressReporter] = None,
-               prof: Optional[Profiler] = None
+               prof: Optional[Profiler] = None,
+               issue: str = "chained",
+               shards: Optional[int] = None
                ) -> Dict[str, object]:
     """Drive a registry target with a raw request stream.
 
     Each op is a mapping ``{"op": <one of _STREAM_OPS>}`` with optional
     ``addr`` (default 0), ``count`` (default 1), and ``stride`` (default
     64) so clients can express compact sweeps without shipping one JSON
-    object per request.  Ops execute back-to-back in simulated time
-    (each issues at the prior op's completion), which makes the outcome
-    a pure function of the stream — the served/batch bit-identity
-    contract for raw streams.
+    object per request.  With the default ``issue="chained"`` ops
+    execute back-to-back in simulated time (each issues at the prior
+    op's completion), which makes the outcome a pure function of the
+    stream — the served/batch bit-identity contract for raw streams.
+
+    ``issue="open"`` switches to the shard plane
+    (:func:`repro.shard.executor.run_shard_stream`): requests issue at
+    stream-declared offsets inside fence-delimited epochs, which is what
+    lets ``shards`` partition the run by iMC channel with bit-identical
+    merged output.  ``shards`` above 1 requires ``issue="open"`` — a
+    chained stream is serial by definition — and the shard plane runs
+    uninstrumented, so ``faults`` plans are chained-plane only.
+    ``shards=None`` defers to the ``--shards`` session default.
 
     Op semantics:
 
@@ -351,6 +362,23 @@ def run_stream(target: str, ops: Sequence[Mapping[str, object]],
     cumulative latency, the target's instrumentation snapshot, and the
     fault report.
     """
+    if issue not in ("chained", "open"):
+        raise ValueError(f"unknown issue mode {issue!r} "
+                         f"(choose 'chained' or 'open')")
+    if issue == "open" or shards not in (None, 0, 1):
+        if issue != "open":
+            raise ValueError(
+                "shards > 1 requires issue='open': a chained stream "
+                "issues each request at the prior completion, which is "
+                "serial by definition")
+        if faults is not None:
+            raise ValueError(
+                "fault plans are chained-plane only; the shard plane "
+                "runs uninstrumented (issue='open' cannot take faults)")
+        from repro.shard.executor import run_shard_stream
+        return run_shard_stream(target, ops, shards=shards,
+                                overrides=overrides, session=session,
+                                progress=progress)
     injector: Optional[FaultInjector] = None
     if faults is not None:
         plan = (faults if isinstance(faults, FaultPlan)

@@ -27,7 +27,12 @@ Client -> server message types:
     request stream (see :func:`repro.experiments.exec.run_stream`).
     The optional ``faults`` field is a ``repro.faultplan/1`` plan
     document; the stream result then carries the fault report with
-    its persistence audit (the litmus thin-client path).
+    its persistence audit (the litmus thin-client path).  The
+    optional ``issue`` ("chained" default, or "open") and ``shards``
+    fields route the stream through the shard plane
+    (:func:`repro.shard.executor.run_shard_stream`); the result is
+    then a ``repro.shard/1`` document (same core keys, plus the
+    shard plan, merged snapshot, and completion checksum).
 ``ping`` / ``stats`` / ``experiments`` / ``targets``
     Introspection; answered inline by the daemon.
 ``bye``

@@ -1,0 +1,183 @@
+"""Merge algebra for per-shard results.
+
+Everything a shard worker ships back — instrument snapshots, telemetry
+timelines, op counts, completion checksums — merges through the
+functions here.  The algebra is associative and order-independent
+(hypothesis-tested in ``tests/test_shard_merge_properties.py``), and
+``merge_snapshots([canonical_snapshot(s)]) == canonical_snapshot(s)``,
+which is what makes the serial run and every shard count land on the
+same bytes.
+
+Canonical snapshot form
+-----------------------
+
+Histograms expand to ``.count/.sum/.min/.max/.mean/.p50/.p99`` keys
+(:meth:`repro.engine.stats.Histogram.as_stats`).  Derived quantile keys
+(``mean``/``p50``/``p99``) are not mergeable across shards, so the
+canonical form drops them and keeps the sufficient statistics: counts
+and sums add, mins/maxes combine across the shards that recorded
+anything.  Every other signal in a shard-plane snapshot is additive —
+DIMM-level stats are counters, and per-station gauges live under
+per-DIMM scopes that exactly one shard owns.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+MASK64 = (1 << 64) - 1
+#: odd multiplicative mixers (golden-ratio and FNV-prime constants)
+MIX_INDEX = 0x9E3779B97F4A7C15
+MIX_VALUE = 0x100000001B3
+
+#: histogram suffixes dropped from the canonical form (not mergeable)
+_DERIVED = ("mean", "p50", "p99")
+
+_SCOPED = re.compile(r"(?:^|\.)(?:dimm|channel)(\d+)\.")
+
+
+def completion_checksum(pairs: Iterable[Tuple[int, int]]) -> int:
+    """Position-binding order-independent digest of completions.
+
+    Each ``(index, completion)`` pair mixes independently and the mixes
+    *sum* mod 2**64, so per-shard partial checksums merge by addition no
+    matter how the stream was partitioned — yet any request completing
+    at a different time, or two completions swapping positions, changes
+    the digest.
+    """
+    total = 0
+    for index, completion in pairs:
+        total += (((index + 1) * MIX_INDEX) & MASK64) \
+            ^ ((completion * MIX_VALUE) & MASK64)
+    return total & MASK64
+
+
+def merge_checksums(parts: Iterable[int]) -> int:
+    return sum(parts) & MASK64
+
+
+def _histogram_bases(snapshot: Mapping[str, object]) -> set:
+    return {key[:-len(".count")] for key in snapshot
+            if key.endswith(".count")}
+
+
+def canonical_snapshot(snapshot: Mapping[str, object]) -> Dict[str, object]:
+    """Mergeable form of an instrument snapshot (see module docstring)."""
+    bases = _histogram_bases(snapshot)
+    out: Dict[str, object] = {}
+    for key, value in snapshot.items():
+        base, _, suffix = key.rpartition(".")
+        if base in bases:
+            if suffix in _DERIVED:
+                continue
+            if suffix in ("min", "max") and not snapshot.get(f"{base}.count"):
+                value = 0
+        out[key] = value
+    return out
+
+
+def filter_owned(snapshot: Mapping[str, object],
+                 owned: Sequence[int]) -> Dict[str, object]:
+    """Drop per-DIMM-scoped signals for DIMMs the shard does not own.
+
+    Unowned stacks are never driven, but their constant gauges (e.g.
+    ``media.partitions``) would still report — and an additive merge
+    would multiply-count them — so each worker keeps only the
+    ``dimm<i>.``/``channel<i>.`` scopes it owns.  Unscoped signals
+    (shared stats counters, system histograms) pass through; they only
+    ever count the shard's own traffic.
+    """
+    owned_set = {int(d) for d in owned}
+    out: Dict[str, object] = {}
+    for key, value in snapshot.items():
+        match = _SCOPED.search(key)
+        if match is not None and int(match.group(1)) not in owned_set:
+            continue
+        out[key] = value
+    return out
+
+
+def merge_snapshots(snapshots: Sequence[Mapping[str, object]]
+                    ) -> Dict[str, object]:
+    """Merge canonical snapshots: sums, count-guarded min/max, error
+    union.  Associative and order-independent."""
+    bases = set()
+    for snap in snapshots:
+        bases |= _histogram_bases(snap)
+    keys = set()
+    for snap in snapshots:
+        keys |= set(snap)
+    out: Dict[str, object] = {}
+    for key in sorted(keys):  # deterministic output order for byte-compares
+        if key == "errors":
+            paths = set()
+            for snap in snapshots:
+                paths.update(snap.get("errors", ()))
+            out[key] = sorted(paths)
+            continue
+        base, _, suffix = key.rpartition(".")
+        if base in bases and suffix in ("min", "max"):
+            pick = min if suffix == "min" else max
+            recorded = [snap[key] for snap in snapshots
+                        if key in snap and snap.get(f"{base}.count")]
+            out[key] = pick(recorded) if recorded else 0
+            continue
+        out[key] = sum(snap[key] for snap in snapshots if key in snap)
+    return out
+
+
+def merge_counts(counts: Sequence[Mapping[str, int]]) -> Dict[str, int]:
+    """Additive merge of per-op count dicts."""
+    out: Dict[str, int] = {}
+    for part in counts:
+        for op, n in part.items():
+            out[op] = out.get(op, 0) + n
+    return out
+
+
+def empty_timeline(interval_ps: int) -> Dict[str, object]:
+    return {"interval_ps": int(interval_ps),
+            "series": {"requests": {}, "busy_ps": {}}}
+
+
+def merge_timelines(timelines: Sequence[Mapping[str, object]]
+                    ) -> Dict[str, object]:
+    """Pointwise-sum merge of completion-bucketed timelines.
+
+    Buckets are keyed by completion time, so the timeline is a pure
+    function of *which requests completed when* — independent of the
+    order shards report in.
+    """
+    if not timelines:
+        return empty_timeline(1)
+    intervals = {int(tl["interval_ps"]) for tl in timelines}
+    if len(intervals) != 1:
+        raise ValueError(f"cannot merge timelines with mixed intervals: "
+                         f"{sorted(intervals)}")
+    out = empty_timeline(intervals.pop())
+    for tl in timelines:
+        for name, series in tl["series"].items():
+            merged = out["series"].setdefault(name, {})
+            for bucket, value in series.items():
+                merged[bucket] = merged.get(bucket, 0) + value
+    return out
+
+
+def sort_timeline(timeline: Mapping[str, object]) -> Dict[str, object]:
+    """Bucket-ordered copy (stable JSON output)."""
+    return {
+        "interval_ps": timeline["interval_ps"],
+        "series": {name: {k: series[k]
+                          for k in sorted(series, key=int)}
+                   for name, series in timeline["series"].items()},
+    }
+
+
+def merge_latency_bounds(bounds: Sequence[Tuple[object, object]]
+                         ) -> Tuple[object, object]:
+    """Combine per-shard ``(min, max)`` latency pairs (``None`` = none
+    recorded)."""
+    mins = [lo for lo, _ in bounds if lo is not None]
+    maxes = [hi for _, hi in bounds if hi is not None]
+    return (min(mins) if mins else None, max(maxes) if maxes else None)

@@ -1,0 +1,57 @@
+"""DIMM → shard assignment.
+
+A shard owns a contiguous block of DIMM indices (contiguous blocks keep
+non-interleaved address ranges on one shard too, since concatenated DIMM
+spaces are themselves contiguous).  The effective shard count never
+exceeds the DIMM population — per-channel state is the unit of
+isolation, so extra shards would own nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.common.errors import ConfigError
+from repro.shard import validate_shards
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Balanced contiguous assignment of ``ndimms`` DIMMs to shards."""
+
+    ndimms: int
+    requested: int
+    effective: int
+    #: ``assignment[dimm] -> shard`` for every DIMM index
+    assignment: Tuple[int, ...] = field(repr=False)
+
+    @classmethod
+    def for_target(cls, ndimms: int, shards: int) -> "ShardPlan":
+        requested = validate_shards(shards)
+        if ndimms < 1:
+            raise ConfigError(f"ndimms must be >= 1, got {ndimms}")
+        effective = min(requested, ndimms)
+        base, extra = divmod(ndimms, effective)
+        assignment = []
+        for shard in range(effective):
+            width = base + (1 if shard < extra else 0)
+            assignment.extend([shard] * width)
+        return cls(ndimms=ndimms, requested=requested,
+                   effective=effective, assignment=tuple(assignment))
+
+    def shard_of(self, dimm: int) -> int:
+        """Owning shard of DIMM ``dimm``."""
+        return self.assignment[dimm]
+
+    def owned(self, shard: int) -> Tuple[int, ...]:
+        """DIMM indices owned by ``shard`` (ascending)."""
+        return tuple(d for d, s in enumerate(self.assignment) if s == shard)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "ndimms": self.ndimms,
+            "requested": self.requested,
+            "effective": self.effective,
+            "assignment": list(self.assignment),
+        }

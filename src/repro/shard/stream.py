@@ -1,0 +1,160 @@
+"""Fence-delimited open-loop epoch streams and the shard partitioner.
+
+The chained streams :func:`repro.experiments.exec.run_stream` executes
+(each op issues at the prior op's completion) are serial by definition —
+request N's issue time depends on every earlier completion, across all
+DIMMs.  The shard plane therefore runs *open-loop epochs*: a fence
+closes an epoch, and every request inside an epoch issues at a
+deterministic time (the epoch base plus a per-request offset declared by
+the stream itself).  Requests to different DIMMs then never observe each
+other before the fence, which is exactly the independence the iMC model
+already has — so sharding by the interleave map is exact, not
+approximate.
+
+Op vocabulary: ``read``/``write``/``write_nt`` plus ``fence``.  The
+cached-store persistency ops (``store``/``flush``) belong to the chained
+plane (the litmus harness) and are rejected with a pointer there.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.common.errors import _suggest
+
+#: ops the shard plane accepts (``fence`` closes an epoch)
+SHARD_OPS = ("read", "write", "write_nt", "fence")
+
+#: chained-plane ops we reject with guidance
+_CHAINED_ONLY = ("store", "flush")
+
+
+@dataclass(frozen=True)
+class ShardRequest:
+    """One expanded request of an open-loop epoch."""
+
+    #: global program-order index across the whole stream
+    index: int
+    op: str
+    addr: int
+    #: issue offset from the epoch base, ps
+    offset_ps: int
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """Requests between two fences; ``fenced`` when a fence closes it."""
+
+    requests: Tuple[ShardRequest, ...]
+    fenced: bool
+
+
+def compile_epochs(ops: Sequence[Mapping[str, object]]) -> List[Epoch]:
+    """Expand compact op mappings into fence-delimited epochs.
+
+    Each op mapping takes the :func:`run_stream` shape — ``op`` plus
+    optional ``addr``/``count``/``stride`` — with one shard-plane
+    addition: ``gap_ps`` (default 0), the issue-time gap *after* each
+    expanded request.  Offsets accumulate across ops within an epoch and
+    reset at every fence, so the stream fully determines every issue
+    time before execution starts.
+    """
+    epochs: List[Epoch] = []
+    current: List[ShardRequest] = []
+    index = 0
+    cursor = 0
+    for item in ops:
+        op = str(item.get("op", "read"))
+        if op not in SHARD_OPS:
+            if op in _CHAINED_ONLY:
+                raise ValueError(
+                    f"stream op {op!r} is chained-plane only (cached-store "
+                    f"persistency); the shard plane accepts: "
+                    f"{', '.join(SHARD_OPS)}")
+            raise ValueError(
+                f"unknown stream op {op!r}{_suggest(op, SHARD_OPS)}"
+                f"; choose from: {', '.join(SHARD_OPS)}")
+        count = int(item.get("count", 1))
+        if op == "fence":
+            for _ in range(count):
+                epochs.append(Epoch(tuple(current), fenced=True))
+                current = []
+                cursor = 0
+            continue
+        addr = int(item.get("addr", 0))
+        stride = int(item.get("stride", 64))
+        gap_ps = int(item.get("gap_ps", 0))
+        for i in range(count):
+            current.append(ShardRequest(index, op, addr + i * stride, cursor))
+            index += 1
+            cursor += gap_ps
+    if current:
+        epochs.append(Epoch(tuple(current), fenced=False))
+    return epochs
+
+
+def total_requests(epochs: Sequence[Epoch]) -> int:
+    return sum(len(epoch.requests) for epoch in epochs)
+
+
+def partition(epochs: Sequence[Epoch], interleaver,
+              plan) -> List[List[Tuple[ShardRequest, ...]]]:
+    """Split epochs across shards with the iMC interleave map.
+
+    Returns ``substreams[shard][epoch]`` — each shard sees every epoch
+    (possibly empty) so the barrier protocol stays in lockstep — with
+    program order preserved inside each shard's slice.  Restricting a
+    stream to one DIMM's requests preserves that DIMM's arrival order,
+    which is why per-channel state evolves identically to the serial
+    run.
+    """
+    substreams: List[List[List[ShardRequest]]] = [
+        [[] for _ in epochs] for _ in range(plan.effective)]
+    for e, epoch in enumerate(epochs):
+        for request in epoch.requests:
+            dimm, _ = interleaver.map(request.addr)
+            substreams[plan.shard_of(dimm)][e].append(request)
+    return [[tuple(reqs) for reqs in shard] for shard in substreams]
+
+
+def synthetic_stream(kind: str, requests: int, *, stride: int = 256,
+                     fence_every: int = 1024, gap_ps: int = 0,
+                     write_ratio: float = 1.0, seed: int = 0,
+                     addr_space: int = 1 << 26) -> List[Dict[str, object]]:
+    """Deterministic open-loop workloads for benches and the CLI.
+
+    * ``seq`` — a sequential sweep (stride ``stride``), fenced every
+      ``fence_every`` requests;
+    * ``burst`` — the ddrt_burst shape: bursts of near-simultaneous
+      requests striped across the interleave granules, mixing reads in
+      per ``write_ratio``;
+    * ``rand`` — seeded uniform addresses over ``addr_space``.
+    """
+    if kind not in ("seq", "burst", "rand"):
+        raise ValueError(f"unknown synthetic stream kind {kind!r}"
+                         f"{_suggest(kind, ('seq', 'burst', 'rand'))}")
+    rng = random.Random(f"repro-shard:{kind}:{seed}")
+    ops: List[Dict[str, object]] = []
+    emitted = 0
+    while emitted < requests:
+        chunk = min(fence_every, requests - emitted)
+        if kind == "seq":
+            ops.append({"op": "write", "addr": emitted * stride,
+                        "count": chunk, "stride": stride,
+                        "gap_ps": gap_ps})
+        else:
+            for i in range(chunk):
+                n = emitted + i
+                if kind == "burst":
+                    # stripe bursts of 8 across 4KB granules so every
+                    # DIMM sees traffic inside each epoch
+                    addr = (n // 8) * 4096 + (n % 8) * stride
+                else:
+                    addr = rng.randrange(addr_space // stride) * stride
+                op = "write" if rng.random() < write_ratio else "read"
+                ops.append({"op": op, "addr": addr, "gap_ps": gap_ps})
+        ops.append({"op": "fence"})
+        emitted += chunk
+    return ops

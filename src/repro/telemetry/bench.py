@@ -70,7 +70,9 @@ def suite_ids(suite: str) -> List[str]:
             f"unknown suite {suite!r}; known: {', '.join(sorted(SUITES))}")
     if suite == "kernel":
         from repro.engine.kernelbench import CASES
-        return [f"kernel.{case}" for case in CASES]
+        from repro.shard.bench import CASES as SHARD_CASES
+        return [f"kernel.{case}" for case in CASES] \
+            + [f"shard.{case}" for case in SHARD_CASES]
     ids = SUITES[suite]
     return validate_ids(list(ids)) if ids else list(REGISTRY)
 
@@ -191,6 +193,9 @@ def _run_kernel_suite(scale: Scale, seed: int,
         SMOKE_EVENTS,
         run_kernel_bench,
     )
+    from repro.shard.bench import PAPER_MULTIPLIER as SHARD_MULTIPLIER
+    from repro.shard.bench import SMOKE_REQUESTS as SHARD_REQUESTS
+    from repro.shard.bench import run_shard_bench
     nevents = SMOKE_EVENTS * (
         PAPER_MULTIPLIER if scale is Scale.PAPER else 1)
     experiments: Dict[str, object] = {}
@@ -199,7 +204,8 @@ def _run_kernel_suite(scale: Scale, seed: int,
     completed = True
     start = time.time()
     try:
-        cases = run_kernel_bench(nevents=nevents, seed=seed)
+        cases = {f"kernel.{case}": numbers for case, numbers
+                 in run_kernel_bench(nevents=nevents, seed=seed).items()}
     except Exception:
         completed = False
         experiments["kernel"] = {
@@ -210,16 +216,36 @@ def _run_kernel_suite(scale: Scale, seed: int,
             "error": traceback.format_exc(),
         }
         cases = {}
+    # the sharded+vectorized execution path, same legacy-vs-optimized
+    # contract (serial scalar authoritative, bit-identity enforced)
+    shard_requests = SHARD_REQUESTS * (
+        SHARD_MULTIPLIER if scale is Scale.PAPER else 1)
+    start = time.time()
+    try:
+        shards = (config or {}).get("shards")
+        cases.update(
+            {f"shard.{case}": numbers for case, numbers
+             in run_shard_bench(nrequests=shard_requests, seed=seed,
+                                shards=shards).items()})
+    except Exception:
+        completed = False
+        experiments["shard"] = {
+            "wall_s": round(time.time() - start, 4),
+            "requests": 0,
+            "requests_per_s": 0.0,
+            "metrics": {},
+            "error": traceback.format_exc(),
+        }
     for case, numbers in cases.items():
         wall_s = float(numbers["optimized_wall_s"])
         events = int(numbers["events"])
-        experiments[f"kernel.{case}"] = {
+        experiments[case] = {
             "wall_s": round(wall_s, 4),
             "requests": events,
             "requests_per_s": round(float(numbers["optimized_events_per_s"]),
                                     2),
             "metrics": {
-                f"kernel.{case}.order_checksum":
+                f"{case}.order_checksum":
                     float(numbers["order_checksum"]),
             },
             "legacy_wall_s": round(float(numbers["legacy_wall_s"]), 4),

@@ -55,6 +55,18 @@ def _load(path: str) -> dict:
         return json.load(fh)
 
 
+def _append_summary(path: Optional[str], lines: List[str]) -> None:
+    """Append markdown to ``path`` (``$GITHUB_STEP_SUMMARY`` in CI)."""
+    if not path:
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+    except OSError as exc:
+        print(f"warning: cannot write summary {path}: {exc}",
+              file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -88,6 +100,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: %(default)s)")
     parser.add_argument("--date", metavar="YYYY-MM-DD",
                         help="override the output filename date stamp")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="shard count for the kernel suite's shard.* "
+                             "cases (default: each case's own setting)")
+    parser.add_argument("--summary", metavar="PATH",
+                        help="append a markdown run summary to PATH "
+                             "(pass \"$GITHUB_STEP_SUMMARY\" in CI)")
     parser.add_argument("--check", metavar="PATH",
                         help="validate an existing bench document and exit")
     parser.add_argument("--list", action="store_true", dest="list_suites",
@@ -116,7 +134,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     scale = Scale.PAPER if args.paper else Scale.SMOKE
     print(f"repro-bench: suite={args.suite} scale={scale.value} "
           f"({', '.join(suite_ids(args.suite))})")
-    doc = run_suite(args.suite, scale, seed=args.seed)
+    config = {"shards": args.shards} if args.shards is not None else None
+    doc = run_suite(args.suite, scale, seed=args.seed, config=config)
     problems = validate_bench(doc)
     if problems:  # defensive: a schema bug should fail loudly, not gate
         for problem in problems:
@@ -140,6 +159,15 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"({totals['requests_per_s']:.0f} req/s, "
           f"peak RSS {totals['peak_rss_kb']} KiB)")
 
+    summary: List[str] = [
+        f"### repro-bench: suite `{args.suite}` ({scale.value})",
+        "",
+        f"- {len(doc['experiments'])} experiments, "
+        f"{totals['requests']} requests in {totals['wall_s']:.1f}s "
+        f"({totals['requests_per_s']:.0f} req/s, peak RSS "
+        f"{totals['peak_rss_kb']} KiB)",
+    ]
+
     if not doc.get("completed", True):
         failed = sorted(exp_id for exp_id, entry
                         in doc["experiments"].items() if "error" in entry)
@@ -151,18 +179,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {exp_id}: {last}", file=sys.stderr)
         print("partial document written; skipping regression gate",
               file=sys.stderr)
+        summary.append(f"- **PARTIAL RUN**: {len(failed)} experiment(s) "
+                       f"crashed: {', '.join(failed)}")
+        _append_summary(args.summary, summary)
         return EXIT_PARTIAL
 
     if args.suite == "kernel":
         # Same-runner relative gate: both kernels were timed back to
         # back in this very run, so "optimized must not be slower than
         # the legacy heap" holds on any machine at any load.
+        summary += ["", "| case | optimized ev/s | legacy ev/s | speedup |",
+                    "|---|---:|---:|---:|"]
         for exp_id in sorted(doc["experiments"]):
             entry = doc["experiments"][exp_id]
             if "speedup" in entry:
                 print(f"  {exp_id}: {entry['requests_per_s']:.0f} ev/s "
                       f"optimized vs {entry['legacy_events_per_s']:.0f} "
                       f"ev/s legacy ({entry['speedup']:.2f}x)")
+                summary.append(
+                    f"| {exp_id} | {entry['requests_per_s']:.0f} "
+                    f"| {entry['legacy_events_per_s']:.0f} "
+                    f"| {entry['speedup']:.2f}x |")
         if args.gate != "none":
             slower = kernel_gate(doc)
             if slower:
@@ -171,11 +208,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                       file=sys.stderr)
                 for line in slower:
                     print(f"  {line}", file=sys.stderr)
+                summary.append(f"\n**REGRESSION**: optimized kernel slower "
+                               f"than legacy in {len(slower)} case(s)")
+                _append_summary(args.summary, summary)
                 return EXIT_REGRESSION
             print("kernel gate: optimized >= legacy in every case")
+            summary.append("\nkernel gate: optimized >= legacy in "
+                           "every case ✓")
 
     if baseline_path is None:
         print("no prior baseline found; nothing to diff")
+        summary.append("- no prior baseline found; nothing to diff")
+        _append_summary(args.summary, summary)
         return EXIT_OK
 
     try:
@@ -188,6 +232,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if stale:
         print(f"warning: baseline {baseline_path} is invalid "
               f"({'; '.join(stale)}); skipping diff", file=sys.stderr)
+        _append_summary(args.summary, summary)
         return EXIT_OK
 
     deltas = diff_bench(baseline, doc)
@@ -195,8 +240,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"\ndiff vs {baseline_path}: "
           f"{len(deltas['metrics'])} metric / "
           f"{len(deltas['perf'])} perf value(s) changed")
+    summary.append(f"- diff vs `{os.path.basename(baseline_path)}`: "
+                   f"{len(deltas['metrics'])} metric / "
+                   f"{len(deltas['perf'])} perf value(s) changed")
     for delta in changed:
         print(f"  {delta.render()}")
+        summary.append(f"  - `{delta.render()}`")
 
     violations = gate(deltas, args.gate,
                       metric_threshold=args.metric_threshold,
@@ -206,8 +255,13 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"(gate={args.gate})", file=sys.stderr)
         for delta in violations:
             print(f"  {delta.render()}", file=sys.stderr)
+        summary.append(f"\n**REGRESSION**: {len(violations)} value(s) "
+                       f"beyond threshold (gate={args.gate})")
+        _append_summary(args.summary, summary)
         return EXIT_REGRESSION
     print(f"gate={args.gate}: ok")
+    summary.append(f"- gate={args.gate}: ok ✓")
+    _append_summary(args.summary, summary)
     return EXIT_OK
 
 

@@ -1,0 +1,170 @@
+"""Property tests: the shard merge algebra is associative and
+order-independent, and sharded execution equals serial.
+
+These are the laws the bit-identity claim rests on: however a stream is
+partitioned — any interleave geometry, any shard count, any report
+order — folding the per-shard payloads must land on the same bytes as
+the serial (one-shard) run.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard.executor import identity_view, run_shard_stream
+from repro.shard.merge import (
+    canonical_snapshot,
+    completion_checksum,
+    empty_timeline,
+    merge_checksums,
+    merge_counts,
+    merge_snapshots,
+    merge_timelines,
+    sort_timeline,
+)
+from repro.shard.plan import ShardPlan
+from repro.shard.stream import compile_epochs, partition, synthetic_stream
+from repro.vans.interleave import Interleaver
+
+# -- snapshot merge ---------------------------------------------------------
+
+counter_keys = st.sampled_from(
+    ["imc.reads", "imc.writes", "dimm0.media.reads", "dimm1.media.reads",
+     "system.lat.count", "system.lat.sum", "media.bytes_written"])
+
+snapshots = st.dictionaries(
+    counter_keys, st.integers(min_value=0, max_value=10 ** 6), max_size=7)
+
+
+def _hist_snapshot(draw_count, lo, hi):
+    """A canonical histogram block (count-guarded min/max)."""
+    snap = {"lat.count": draw_count, "lat.sum": draw_count * 100}
+    snap["lat.min"] = lo if draw_count else 0
+    snap["lat.max"] = hi if draw_count else 0
+    return snap
+
+
+hist_snapshots = st.builds(
+    _hist_snapshot,
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=1, max_value=100),
+    st.integers(min_value=100, max_value=1000))
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(snapshots, min_size=1, max_size=5))
+def test_snapshot_merge_is_order_independent(snaps):
+    forward = merge_snapshots(snaps)
+    assert merge_snapshots(list(reversed(snaps))) == forward
+    # associativity: fold pairwise left vs merging flat
+    folded = snaps[0]
+    for snap in snaps[1:]:
+        folded = merge_snapshots([folded, snap])
+    assert folded == forward
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(hist_snapshots, min_size=1, max_size=5))
+def test_histogram_min_max_merge_is_count_guarded(snaps):
+    merged = merge_snapshots(snaps)
+    recorded = [s for s in snaps if s["lat.count"]]
+    if recorded:
+        assert merged["lat.min"] == min(s["lat.min"] for s in recorded)
+        assert merged["lat.max"] == max(s["lat.max"] for s in recorded)
+    else:
+        assert merged["lat.min"] == merged["lat.max"] == 0
+    assert merged["lat.count"] == sum(s["lat.count"] for s in snaps)
+
+
+@settings(max_examples=100, deadline=None)
+@given(snapshots)
+def test_single_snapshot_merge_is_identity(snap):
+    canon = canonical_snapshot(snap)
+    assert merge_snapshots([canon]) == canon
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.lists(st.tuples(
+    st.integers(min_value=0, max_value=10 ** 6),
+    st.integers(min_value=0, max_value=10 ** 9)), max_size=20),
+    min_size=1, max_size=4))
+def test_checksum_merge_independent_of_partitioning(parts):
+    flat = [pair for part in parts for pair in part]
+    assert merge_checksums(completion_checksum(p) for p in parts) \
+        == completion_checksum(flat)
+    assert merge_checksums(
+        completion_checksum(p) for p in reversed(parts)) \
+        == completion_checksum(flat)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.dictionaries(
+    st.sampled_from(["read", "write", "write_nt"]),
+    st.integers(min_value=0, max_value=1000), max_size=3),
+    min_size=1, max_size=5))
+def test_count_merge_commutes(parts):
+    assert merge_counts(parts) == merge_counts(list(reversed(parts)))
+
+
+timelines = st.builds(
+    lambda reqs: {"interval_ps": 1000,
+                  "series": {"requests": {str(b): n for b, n in reqs},
+                             "busy_ps": {str(b): n * 7 for b, n in reqs}}},
+    st.lists(st.tuples(st.integers(min_value=0, max_value=50),
+                       st.integers(min_value=1, max_value=100)),
+             max_size=10, unique_by=lambda t: t[0]))
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(timelines, min_size=1, max_size=5))
+def test_timeline_merge_is_order_independent(parts):
+    forward = sort_timeline(merge_timelines(parts))
+    backward = sort_timeline(merge_timelines(list(reversed(parts))))
+    assert json.dumps(forward, sort_keys=True) \
+        == json.dumps(backward, sort_keys=True)
+    folded = empty_timeline(1000)
+    for part in parts:
+        folded = merge_timelines([folded, part])
+    assert sort_timeline(folded) == forward
+
+
+# -- partitioning is exact for random geometries ----------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=8),
+       st.booleans(),
+       st.sampled_from([1, 2, 4, 8]),
+       st.integers(min_value=0, max_value=99))
+def test_partition_is_a_bijection_for_random_geometry(ndimms, interleaved,
+                                                      shards, seed):
+    inter = Interleaver(ndimms=ndimms, granularity=4096,
+                        interleaved=interleaved)
+    plan = ShardPlan.for_target(ndimms, shards)
+    epochs = compile_epochs(
+        synthetic_stream("rand", 96, fence_every=32, seed=seed))
+    subs = partition(epochs, inter, plan)
+    seen = sorted(r.index for shard in subs for ep in shard for r in ep)
+    assert seen == list(range(96))
+    for shard_id, shard in enumerate(subs):
+        for ep in shard:
+            for r in ep:
+                assert plan.shard_of(inter.map(r.addr)[0]) == shard_id
+
+
+# -- end to end: sharded == serial over random shard counts -----------------
+
+@settings(max_examples=6, deadline=None)
+@given(st.sampled_from([2, 4]),
+       st.sampled_from(["seq", "burst", "rand"]),
+       st.integers(min_value=0, max_value=3))
+def test_sharded_run_equals_serial(shards, kind, seed):
+    ops = synthetic_stream(kind, 600, fence_every=200, write_ratio=0.5,
+                           seed=seed)
+    overrides = {"ndimms": 4, "interleaved": True}
+    serial = run_shard_stream("vans", ops, shards=1, overrides=overrides,
+                              fork=False)
+    sharded = run_shard_stream("vans", ops, shards=shards,
+                               overrides=overrides, fork=False)
+    assert json.dumps(identity_view(sharded), sort_keys=True) \
+        == json.dumps(identity_view(serial), sort_keys=True)

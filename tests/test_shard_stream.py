@@ -1,0 +1,96 @@
+"""Epoch compiler, interleave partitioner, synthetic workloads."""
+
+import pytest
+
+from repro.shard.plan import ShardPlan
+from repro.shard.stream import (
+    compile_epochs,
+    partition,
+    synthetic_stream,
+    total_requests,
+)
+from repro.vans.interleave import Interleaver
+
+
+def test_compile_expands_count_stride_and_gaps():
+    epochs = compile_epochs([
+        {"op": "read", "addr": 0, "count": 3, "stride": 64, "gap_ps": 10},
+        {"op": "write", "addr": 4096},
+        {"op": "fence"},
+        {"op": "write_nt", "addr": 128},
+    ])
+    assert len(epochs) == 2
+    first, second = epochs
+    assert first.fenced and not second.fenced
+    assert [r.addr for r in first.requests] == [0, 64, 128, 4096]
+    assert [r.offset_ps for r in first.requests] == [0, 10, 20, 30]
+    # program-order indices are global across epochs
+    assert [r.index for r in first.requests] == [0, 1, 2, 3]
+    assert [r.index for r in second.requests] == [4]
+    # the fence resets the offset cursor
+    assert second.requests[0].offset_ps == 0
+    assert total_requests(epochs) == 5
+
+
+def test_fence_count_emits_empty_epochs():
+    epochs = compile_epochs([{"op": "fence", "count": 3}])
+    assert len(epochs) == 3
+    assert all(e.fenced and not e.requests for e in epochs)
+
+
+def test_chained_plane_ops_rejected_with_pointer():
+    with pytest.raises(ValueError, match="chained-plane"):
+        compile_epochs([{"op": "store", "addr": 0}])
+    with pytest.raises(ValueError, match="chained-plane"):
+        compile_epochs([{"op": "flush", "addr": 0}])
+
+
+def test_unknown_op_suggests():
+    with pytest.raises(ValueError, match="unknown stream op"):
+        compile_epochs([{"op": "raed"}])
+
+
+def test_partition_covers_every_request_once():
+    epochs = compile_epochs(synthetic_stream("rand", 512, fence_every=128,
+                                             seed=3))
+    inter = Interleaver(ndimms=4, granularity=4096, interleaved=True)
+    plan = ShardPlan.for_target(4, 2)
+    subs = partition(epochs, inter, plan)
+    assert len(subs) == plan.effective
+    # every shard sees every epoch slot (lockstep barrier requirement)
+    assert all(len(shard) == len(epochs) for shard in subs)
+    seen = sorted(r.index for shard in subs for ep in shard for r in ep)
+    assert seen == list(range(total_requests(epochs)))
+    # each request landed on the shard owning its DIMM, in program order
+    for shard_id, shard in enumerate(subs):
+        for ep in shard:
+            assert [r.index for r in ep] == sorted(r.index for r in ep)
+            for r in ep:
+                dimm, _ = inter.map(r.addr)
+                assert plan.shard_of(dimm) == shard_id
+
+
+def test_synthetic_stream_deterministic_and_shaped():
+    a = synthetic_stream("rand", 200, seed=7)
+    b = synthetic_stream("rand", 200, seed=7)
+    assert a == b
+    assert a != synthetic_stream("rand", 200, seed=8)
+    for kind in ("seq", "burst", "rand"):
+        ops = synthetic_stream(kind, 300, fence_every=100)
+        epochs = compile_epochs(ops)
+        assert total_requests(epochs) == 300
+        assert sum(1 for e in epochs if e.fenced) == 3
+
+
+def test_synthetic_stream_unknown_kind():
+    with pytest.raises(ValueError, match="unknown synthetic stream kind"):
+        synthetic_stream("zipf", 10)
+
+
+def test_burst_touches_every_dimm_per_epoch():
+    ops = synthetic_stream("burst", 256, fence_every=64)
+    epochs = compile_epochs(ops)
+    inter = Interleaver(ndimms=4, granularity=4096, interleaved=True)
+    for epoch in epochs:
+        dimms = {inter.map(r.addr)[0] for r in epoch.requests}
+        assert dimms == {0, 1, 2, 3}
